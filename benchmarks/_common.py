@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+it, and archives the text under ``results/`` so EXPERIMENTS.md can be
+checked against the latest run.  Benchmarks execute the underlying
+simulation exactly once (``benchmark.pedantic`` with one round): the
+interesting measurement is the figure's content, the wall-clock is
+reported by pytest-benchmark for free.
+
+Simulation results are memoised on disk (see :mod:`repro.sim.cache`), so
+the full harness is expensive only on its first run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def save_result(name: str, text: str) -> Path:
+    """Archive a rendered figure/table under results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+def show(title: str, text: str) -> None:
+    print()
+    print(f"==== {title} ====")
+    print(text)

@@ -1,0 +1,77 @@
+"""Ablation: the NUMA-GPU software mechanisms themselves.
+
+The baseline NUMA-GPU system (Section II-B) relies on (a) contiguous CTA
+batching and (b) first-touch page placement to create locality, and the
+paper's introduction reports that adding page migration on top still
+leaves a ~49% gap.  This bench isolates each mechanism:
+
+* contiguous vs round-robin CTA scheduling,
+* first-touch vs static-interleaved page placement,
+* baseline vs +page migration.
+"""
+
+from repro.analysis.report import format_table
+from repro.config import (
+    PLACEMENT_FIRST_TOUCH,
+    PLACEMENT_INTERLEAVED,
+    SCHEDULE_CONTIGUOUS,
+    SCHEDULE_ROUND_ROBIN,
+    baseline_config,
+)
+from repro.perf.model import geometric_mean
+from repro.sim.driver import run_workload, time_of
+
+from _common import run_once, save_result, show
+
+WORKLOADS = ["CoMD", "AMG", "Lulesh", "MiniAMR", "stream-triad"]
+
+
+def _run(cfg, label):
+    return {
+        w: time_of(run_workload(w, cfg, label=label), cfg) for w in WORKLOADS
+    }
+
+
+def _compute():
+    base = baseline_config()
+    variants = {
+        "numa-gpu": base,
+        "round-robin CTAs": base.replace(scheduling=SCHEDULE_ROUND_ROBIN),
+        "interleaved pages": base.replace(placement=PLACEMENT_INTERLEAVED),
+        "+page migration": base.replace(migration=True),
+    }
+    return {name: _run(cfg, f"ablation-{name}") for name, cfg in variants.items()}
+
+
+def test_numa_software_mechanisms(benchmark):
+    times = run_once(benchmark, _compute)
+    base = times["numa-gpu"]
+    rows = []
+    for name, t in times.items():
+        rel = geometric_mean([base[w] / t[w] for w in WORKLOADS])
+        rows.append([name, f"{rel:.2f}x"])
+    table = format_table(
+        ["configuration", "geomean perf vs NUMA-GPU"],
+        rows,
+        title="Ablation — NUMA-GPU software mechanisms",
+    )
+    show("NUMA software ablation", table)
+    save_result("ablation_numa_sw", table)
+
+    def rel(name):
+        return geometric_mean([base[w] / times[name][w] for w in WORKLOADS])
+
+    # Locality-oblivious CTA scheduling hurts: first-touch still follows
+    # each CTA's private data, but every CTA boundary page is now falsely
+    # shared across GPUs instead of only batch-edge pages.  (The paper's
+    # inter-CTA locality effect is stronger; our generator gives CTAs
+    # disjoint private slices, so only the boundary effect remains.)
+    assert rel("round-robin CTAs") < 0.98
+    # Static interleaving sends 3/4 of private accesses remote.
+    assert rel("interleaved pages") < 0.75
+    # Migration cannot beat first-touch placement by much on these
+    # workloads (the paper's ~49%-gap observation): within a narrow band.
+    assert 0.85 < rel("+page migration") < 1.15
+
+    # Private streaming workloads suffer the most from bad placement.
+    assert base["stream-triad"] / times["interleaved pages"]["stream-triad"] < 0.6

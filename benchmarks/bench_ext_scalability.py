@@ -1,0 +1,95 @@
+"""Extension (Section V-E): CARVE scalability with node count, and
+broadcast vs directory coherence.
+
+The paper argues CARVE scales to arbitrary node counts, but that a
+directory-less (broadcast) protocol generates invalidation traffic that
+grows with the node count, making directory coherence attractive for
+large systems.  This bench measures both effects on 2/4/8-GPU systems.
+"""
+
+from repro.analysis.report import format_table
+from repro.config import (
+    COHERENCE_DIRECTORY,
+    COHERENCE_HARDWARE,
+    INVALIDATE_MSG_BYTES,
+    baseline_config,
+)
+from repro.sim.driver import run_workload, time_of
+from repro.workloads import suite
+
+from _common import run_once, save_result, show
+
+WORKLOAD = "SSSP"  # read-write shared: exercises invalidations
+NODE_COUNTS = [2, 4, 8]
+
+
+def _invalidate_bytes(result):
+    total = result.total()
+    return total.invalidates_sent * INVALIDATE_MSG_BYTES
+
+
+def _compute():
+    rows = []
+    for n in NODE_COUNTS:
+        base = baseline_config(n_gpus=n)
+        single = base.single_gpu()
+        r_single = run_workload(WORKLOAD, single, label=f"single-{n}")
+        t_single = time_of(r_single, single)
+        row = {"n": n}
+        for coherence in (COHERENCE_HARDWARE, COHERENCE_DIRECTORY):
+            cfg = base.with_rdc(coherence=coherence)
+            r = run_workload(WORKLOAD, cfg, label=f"carve-{coherence}-{n}gpu")
+            row[coherence] = {
+                "speedup": t_single / time_of(r, cfg),
+                "inval_bytes": _invalidate_bytes(r),
+                "accesses": r.total().accesses,
+            }
+        rows.append(row)
+    return rows
+
+
+def test_scalability_and_directory_coherence(benchmark):
+    rows = run_once(benchmark, _compute)
+    table = format_table(
+        ["GPUs", "HWC speedup", "DIR speedup",
+         "HWC inval B/kacc", "DIR inval B/kacc"],
+        [
+            [
+                str(r["n"]),
+                f"{r[COHERENCE_HARDWARE]['speedup']:.2f}x",
+                f"{r[COHERENCE_DIRECTORY]['speedup']:.2f}x",
+                f"{1e3 * r[COHERENCE_HARDWARE]['inval_bytes'] / r[COHERENCE_HARDWARE]['accesses']:.1f}",
+                f"{1e3 * r[COHERENCE_DIRECTORY]['inval_bytes'] / r[COHERENCE_DIRECTORY]['accesses']:.1f}",
+            ]
+            for r in rows
+        ],
+        title="Section V-E extension — node-count scaling of CARVE",
+    )
+    show("Scalability extension", table)
+    save_result("ext_scalability", table)
+
+    # CARVE keeps scaling: more GPUs, more speedup.
+    hwc_speedups = [r[COHERENCE_HARDWARE]["speedup"] for r in rows]
+    assert hwc_speedups == sorted(hwc_speedups)
+    assert hwc_speedups[-1] > 4.0  # 8 GPUs well past 4x
+
+    # Broadcast invalidation traffic grows with node count...
+    def per_kacc(r, coh):
+        return r[coh]["inval_bytes"] / r[coh]["accesses"]
+
+    hwc_traffic = [per_kacc(r, COHERENCE_HARDWARE) for r in rows]
+    assert hwc_traffic[-1] > 1.5 * hwc_traffic[0]
+
+    # ...while the directory sends no more than the broadcast protocol,
+    # with the gap widening at higher node counts.
+    for r in rows:
+        assert per_kacc(r, COHERENCE_DIRECTORY) <= per_kacc(
+            r, COHERENCE_HARDWARE
+        ) + 1e-12
+    gap_small = per_kacc(rows[0], COHERENCE_HARDWARE) - per_kacc(
+        rows[0], COHERENCE_DIRECTORY
+    )
+    gap_large = per_kacc(rows[-1], COHERENCE_HARDWARE) - per_kacc(
+        rows[-1], COHERENCE_DIRECTORY
+    )
+    assert gap_large > gap_small

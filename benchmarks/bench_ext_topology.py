@@ -1,0 +1,72 @@
+"""Extension: point-to-point NVLink mesh vs NVSwitch-style fabric.
+
+The paper's DGX-1-style baseline gives every GPU pair a dedicated
+64 GB/s link; its reference [51] (NVSwitch) replaces the mesh with a
+fabric port per GPU.  The trade-off: a switch serves *skewed* traffic
+(one hot home GPU) at full port rate where a mesh is pinched by a single
+pairwise link, while the mesh's aggregate bandwidth scales with the peer
+count for *spread* traffic.  Topology only changes pricing, so one
+simulation per workload serves both designs.
+"""
+
+from repro.analysis.report import format_table
+from repro.config import TOPOLOGY_P2P, TOPOLOGY_SWITCH, baseline_config
+from repro.perf.model import PerformanceModel
+from repro.sim.driver import run_workload
+
+from _common import run_once, save_result, show
+
+WORKLOADS = ["Lulesh", "XSBench", "SSSP", "bfs-road", "HPGMG"]
+
+
+def _compute():
+    base = baseline_config()
+    runs = {w: run_workload(w, base, label="numa-gpu") for w in WORKLOADS}
+    out = {}
+    for topology in (TOPOLOGY_P2P, TOPOLOGY_SWITCH):
+        cfg = base.replace(
+            link=base.link.__class__(
+                inter_gpu_bytes_per_s=base.link.inter_gpu_bytes_per_s,
+                cpu_gpu_bytes_per_s=base.link.cpu_gpu_bytes_per_s,
+                latency_ns=base.link.latency_ns,
+                topology=topology,
+            )
+        )
+        model = PerformanceModel(cfg)
+        out[topology] = {w: model.total_time_s(r) for w, r in runs.items()}
+    return out
+
+
+def test_topology_tradeoff(benchmark):
+    times = run_once(benchmark, _compute)
+    rows = []
+    for w in WORKLOADS:
+        ratio = times[TOPOLOGY_P2P][w] / times[TOPOLOGY_SWITCH][w]
+        rows.append([w, f"{ratio:.2f}x"])
+    table = format_table(
+        ["workload", "switch speedup over p2p mesh (64 GB/s each)"],
+        rows,
+        title="Extension — interconnect topology at equal link/port rate",
+    )
+    show("Topology extension", table)
+    save_result("ext_topology", table)
+
+    # First-touch spreads shared pages over all peers, so the mesh's
+    # aggregate (3 x 64 GB/s per GPU) beats a single 64 GB/s port for
+    # every link-bound workload: the switch must overprovision its port
+    # rate to match — exactly why NVSwitch ports carry multiple links.
+    for w in WORKLOADS:
+        assert times[TOPOLOGY_SWITCH][w] >= times[TOPOLOGY_P2P][w] * 0.99, w
+
+    # With a port as fast as the mesh aggregate, the switch matches it.
+    base = baseline_config()
+    runs = {w: run_workload(w, base, label="numa-gpu") for w in WORKLOADS}
+    fat_port = base.replace(
+        link=base.link.__class__(
+            inter_gpu_bytes_per_s=3 * base.link.inter_gpu_bytes_per_s,
+            topology=TOPOLOGY_SWITCH,
+        )
+    )
+    model = PerformanceModel(fat_port)
+    for w in WORKLOADS:
+        assert model.total_time_s(runs[w]) <= times[TOPOLOGY_P2P][w] * 1.01

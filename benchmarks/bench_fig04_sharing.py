@@ -1,0 +1,60 @@
+"""Figure 4: distribution of memory accesses to private, read-only
+shared, and read-write shared data at page (2 MB) and line (128 B)
+granularity.
+
+Paper shape: ~40% of accesses (up to 100%) land on read-write shared
+*pages*, but at cache-line granularity most of that is false sharing —
+the line-level read-write share is small.  This is the observation that
+justifies a fine-grain RDC with cheap coherence.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sharing import profile_sharing
+from repro.sim.experiments import config_for, NUMA_GPU
+from repro.workloads import suite
+from repro.workloads.base import generate_trace
+
+from _common import run_once, save_result, show
+
+
+def _compute():
+    cfg = config_for(NUMA_GPU)
+    rows = []
+    for spec in suite.SUITE:
+        profile = profile_sharing(generate_trace(spec, cfg), cfg)
+        page = profile.access_distribution("page")
+        line = profile.access_distribution("line")
+        rows.append((spec.abbr, page, line))
+    return rows
+
+
+def test_fig04_sharing_distribution(benchmark):
+    rows = run_once(benchmark, _compute)
+    table = format_table(
+        ["workload", "pg-priv", "pg-ro", "pg-rw", "ln-priv", "ln-ro", "ln-rw"],
+        [
+            [
+                abbr,
+                f"{p.private:.2f}", f"{p.ro_shared:.2f}", f"{p.rw_shared:.2f}",
+                f"{l.private:.2f}", f"{l.ro_shared:.2f}", f"{l.rw_shared:.2f}",
+            ]
+            for abbr, p, l in rows
+        ],
+        title="Fig. 4 — access distribution by sharing class",
+    )
+    show("Figure 4", table)
+    save_result("fig04_sharing", table)
+
+    page_rw = [p.rw_shared for _, p, _ in rows]
+    line_rw = [l.rw_shared for _, _, l in rows]
+    avg_page_rw = sum(page_rw) / len(page_rw)
+    avg_line_rw = sum(line_rw) / len(line_rw)
+
+    # A large share of accesses hit RW pages (paper: ~40% on average)...
+    assert 0.15 < avg_page_rw < 0.65
+    # ...but line-granularity RW sharing is far smaller (false sharing).
+    assert avg_line_rw < 0.5 * avg_page_rw
+
+    # RandAccess is truly read-write shared even at line granularity.
+    rand_line = dict((a, l) for a, _, l in rows)["RandAccess"]
+    assert rand_line.rw_shared > 0.5

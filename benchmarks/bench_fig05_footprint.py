@@ -1,0 +1,55 @@
+"""Figure 5: total memory capacity (across 4 GPUs) needed to cover each
+application's shared working set, against the aggregate system LLC.
+
+Paper shape: the shared footprint exceeds the 32 MB aggregate LLC for
+most workloads by orders of magnitude — on-chip caching cannot capture
+it, which is why CARVE carves cache capacity out of GPU memory instead.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sharing import profile_sharing
+from repro.sim.experiments import NUMA_GPU, config_for
+from repro.workloads import suite
+from repro.workloads.base import generate_trace
+
+from _common import run_once, save_result, show
+
+
+def _compute():
+    cfg = config_for(NUMA_GPU)
+    out = {}
+    for spec in suite.SUITE:
+        profile = profile_sharing(generate_trace(spec, cfg), cfg)
+        # Already in real bytes: the page count is scale-invariant.
+        out[spec.abbr] = profile.shared_footprint_bytes()
+    return out, cfg
+
+
+def test_fig05_shared_footprint(benchmark):
+    footprints, cfg = run_once(benchmark, _compute)
+    llc = cfg.total_llc_bytes
+    rows = [
+        [abbr, f"{fp / 2**20:.1f} MB", f"{fp / llc:.1f}x"]
+        for abbr, fp in footprints.items()
+    ]
+    table = format_table(
+        ["workload", "shared footprint", "vs 32MB aggregate LLC"],
+        rows,
+        title="Fig. 5 — shared working-set footprint (real bytes)",
+    )
+    show("Figure 5", table)
+    save_result("fig05_footprint", table)
+
+    # Most workloads' shared footprints dwarf the aggregate LLC.
+    exceeding = [fp for fp in footprints.values() if fp > llc]
+    assert len(exceeding) >= 12
+
+    # The RW-shared group exceeds it without exception.
+    for abbr, group in suite.GROUPS.items():
+        if group in (suite.GROUP_RW_SHARED, suite.GROUP_LATENCY):
+            assert footprints[abbr] > llc
+
+    # XSBench and HPGMG-amry carry multi-GB shared footprints (the
+    # RDC-size-sensitive workloads of Table V).
+    assert footprints["XSBench"] > 2 * 2**30
+    assert footprints["HPGMG-amry"] > 2 * 2**30

@@ -1,0 +1,45 @@
+"""Figure 9: CARVE with zero-overhead coherence (upper bound) against
+NUMA-GPU, +read-only replication, and the ideal system.
+
+Paper shape: CARVE-No-Coherence closes the gap to within ~5% of ideal on
+average — far past what software replication achieves — while RandAccess
+*degrades* ~10% because every RDC miss serialises a probe before the
+remote fetch.
+"""
+
+from repro.analysis.report import per_workload_table
+from repro.perf.model import geometric_mean
+from repro.sim import experiments as E
+
+from _common import run_once, save_result, show
+
+
+def test_fig09_carve_upper_bound(benchmark):
+    data = run_once(benchmark, E.figure9)
+    table = per_workload_table(
+        data, title="Fig. 9 — CARVE-No-Coherence relative to ideal"
+    )
+    show("Figure 9", table)
+    save_result("fig09_carve_upper", table)
+
+    numa = data[E.NUMA_GPU]
+    repl = data[E.NUMA_REPL_RO]
+    noc = data[E.CARVE_NOC]
+
+    gm_numa = geometric_mean(list(numa.values()))
+    gm_repl = geometric_mean(list(repl.values()))
+    gm_noc = geometric_mean(list(noc.values()))
+
+    # Paper: baseline/replication leave ~50% on the table; CARVE ~5-10%.
+    assert gm_numa < 0.75
+    assert gm_repl < 0.85
+    assert gm_noc > 0.85
+    assert gm_noc > gm_repl > gm_numa
+
+    # Workloads the paper calls out as rescued by CARVE.
+    for abbr in ("Lulesh", "Euler", "SSSP", "HPGMG"):
+        assert noc[abbr] > 0.8
+        assert noc[abbr] > numa[abbr] + 0.2
+
+    # The RandAccess outlier: CARVE makes it slower than baseline.
+    assert noc["RandAccess"] < numa["RandAccess"]

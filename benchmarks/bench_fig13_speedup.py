@@ -1,0 +1,37 @@
+"""Figure 13: multi-GPU speedup over a single GPU for the headline
+systems.
+
+Paper numbers (geomean over 20 workloads): NUMA-GPU 2.53x, +read-only
+replication 2.75x, CARVE 3.61x, ideal 3.7x.
+"""
+
+from repro.analysis.report import per_workload_table
+from repro.perf.model import geometric_mean
+from repro.sim import experiments as E
+
+from _common import run_once, save_result, show
+
+
+def test_fig13_speedup(benchmark):
+    data = run_once(benchmark, E.figure13)
+    table = per_workload_table(
+        data, title="Fig. 13 — speedup over a single GPU"
+    )
+    show("Figure 13", table)
+    save_result("fig13_speedup", table)
+
+    gm = {k: geometric_mean(list(v.values())) for k, v in data.items()}
+
+    # The paper's ordering, with loose bands around its numbers.
+    assert gm[E.NUMA_GPU] < gm[E.NUMA_REPL_RO] < gm[E.CARVE_HWC] < gm[E.IDEAL]
+    assert 2.2 < gm[E.NUMA_GPU] < 2.9       # paper: 2.53x
+    assert 2.5 < gm[E.NUMA_REPL_RO] < 3.2   # paper: 2.75x
+    assert 3.2 < gm[E.CARVE_HWC] < 3.9      # paper: 3.61x
+    assert 3.6 < gm[E.IDEAL] <= 4.0         # paper: 3.7x
+
+    # CARVE is never (meaningfully) worse than read-only replication.
+    for abbr, v in data[E.CARVE_HWC].items():
+        assert v > 0.85 * data[E.NUMA_REPL_RO][abbr]
+
+    # RandAccess is CARVE's one loss against the baseline.
+    assert data[E.CARVE_HWC]["RandAccess"] < data[E.NUMA_GPU]["RandAccess"]

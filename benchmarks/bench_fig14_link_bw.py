@@ -1,0 +1,48 @@
+"""Figure 14: sensitivity to inter-GPU link bandwidth.
+
+Paper shape: baseline NUMA-GPU performance tracks the link bandwidth
+almost linearly; CARVE is nearly flat across 32-256 GB/s, hugging the
+ideal system — and CARVE's *relative* advantage grows as links get
+slower.  Counters are link-bandwidth independent, so this bench simulates
+each system once and re-prices it per bandwidth point.
+"""
+
+from repro.analysis.report import series_table
+from repro.sim import experiments as E
+
+from _common import run_once, save_result, show
+
+BWS = [16.0, 32.0, 64.0, 128.0, 256.0]
+
+
+def test_fig14_link_bandwidth(benchmark):
+    data = run_once(benchmark, lambda: E.figure14(link_bandwidths_gbs=BWS))
+    table = series_table(
+        data,
+        "link GB/s",
+        title="Fig. 14 — geomean speedup over 1 GPU vs link bandwidth",
+    )
+    show("Figure 14", table)
+    save_result("fig14_link_bw", table)
+
+    numa = data[E.NUMA_GPU]
+    carve = data[E.CARVE_HWC]
+    ideal = data[E.IDEAL]
+
+    # NUMA-GPU is strongly link-bound: monotone and steep.
+    assert numa[256.0] > 1.6 * numa[32.0]
+    assert all(numa[a] <= numa[b] + 1e-9 for a, b in zip(BWS, BWS[1:]))
+
+    # CARVE is nearly flat and close to ideal everywhere.
+    assert carve[256.0] < 1.2 * carve[16.0]
+    for bw in BWS[1:]:
+        assert carve[bw] > 0.8 * ideal[bw]
+
+    # CARVE's relative advantage grows as the link slows (the paper's
+    # 64 -> 32 GB/s observation).
+    adv_32 = carve[32.0] / numa[32.0]
+    adv_64 = carve[64.0] / numa[64.0]
+    assert adv_32 > adv_64
+
+    # Ideal is link-independent by construction.
+    assert abs(ideal[16.0] - ideal[256.0]) / ideal[256.0] < 0.02

@@ -1,0 +1,39 @@
+"""Table V(b): slowdown when the carve-out forces application data to
+spill into system memory (Unified-Memory model).
+
+Paper numbers: spilling 1.5/3.12/6.25/12.5% of the footprint costs
+0.96/0.94/0.83/0.76x — modest, because UM paging serves the *cold* end
+of the footprint while CARVE serves the hot shared end.
+"""
+
+from repro.analysis.report import format_table
+from repro.sim import experiments as E
+
+from _common import run_once, save_result, show
+
+FRACS = [0.0, 0.015, 0.0312, 0.0625, 0.125]
+
+
+def test_table5b_capacity_loss(benchmark):
+    data = run_once(benchmark, lambda: E.table5b(spill_fractions=FRACS))
+    table = format_table(
+        ["footprint spilled", "geomean slowdown"],
+        [[f"{f * 100:.2f}%", f"{v:.2f}x"] for f, v in data.items()],
+        title="Table V(b) — slowdown due to memory carve-out",
+    )
+    show("Table V(b)", table)
+    save_result("table5b_capacity", table)
+
+    # No spill, no slowdown.
+    assert data[0.0] == 1.0
+
+    # Monotone degradation with spill size.
+    values = [data[f] for f in FRACS]
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    # Small carve-outs are nearly free (paper: 1.5% -> 0.96x).
+    assert data[0.015] > 0.93
+
+    # Even 12.5% stays within the paper's band (0.76x) rather than
+    # collapsing — the cold-page heat skew is what makes this possible.
+    assert 0.6 < data[0.125] < 0.95

@@ -1,0 +1,57 @@
+"""Tables II and III: static characteristics of the workload suite and
+the simulated system.  These are configuration reproductions rather than
+measurements, but regenerating them keeps the suite honest against the
+paper's published parameters.
+"""
+
+from repro.analysis.report import format_table
+from repro.config import LINE_BYTES, baseline_config
+from repro.workloads import suite
+
+from _common import run_once, save_result, show
+
+
+def test_table2_workloads(benchmark):
+    rows = run_once(benchmark, suite.table2_rows)
+    table = format_table(
+        ["suite", "benchmark", "abbr", "mem footprint"],
+        [list(r) for r in rows],
+        title="Table II — workload characteristics",
+    )
+    show("Table II", table)
+    save_result("table2_workloads", table)
+
+    assert len(rows) == 20
+    by_abbr = {r[2]: r[3] for r in rows}
+    # Spot-check the paper's extremes.
+    assert by_abbr["RandAccess"] == "15.0 GB"
+    assert by_abbr["Bitcoin"] == "5.6 GB"
+    assert by_abbr["Lulesh"] == "24 MB"
+
+
+def test_table3_system(benchmark):
+    cfg = run_once(benchmark, baseline_config)
+    rows = [
+        ["Number of GPUs", str(cfg.n_gpus)],
+        ["Total number of SMs", str(cfg.n_gpus * cfg.gpu.n_sms)],
+        ["Max warps per SM", str(cfg.gpu.warps_per_sm)],
+        ["GPU frequency", f"{cfg.gpu.freq_hz / 1e9:g} GHz"],
+        ["OS page size", f"{cfg.page_bytes // 2**20} MB"],
+        ["Cache line", f"{LINE_BYTES} B"],
+        ["Total L2 cache", f"{cfg.total_llc_bytes // 2**20} MB"],
+        ["Inter-GPU link", f"{cfg.link.inter_gpu_bytes_per_s / 1e9:g} GB/s"],
+        ["CPU-GPU link", f"{cfg.link.cpu_gpu_bytes_per_s / 1e9:g} GB/s"],
+        ["Total DRAM bandwidth",
+         f"{cfg.n_gpus * cfg.memory.bandwidth_bytes_per_s / 1e12:g} TB/s"],
+        ["Total DRAM capacity",
+         f"{cfg.n_gpus * cfg.memory.capacity_bytes // 2**30} GB"],
+    ]
+    table = format_table(
+        ["parameter", "value"], rows, title="Table III — baseline system"
+    )
+    show("Table III", table)
+    save_result("table3_system", table)
+
+    assert cfg.n_gpus * cfg.gpu.n_sms == 256
+    assert cfg.total_llc_bytes == 32 * 2**20
+    assert cfg.n_gpus * cfg.memory.capacity_bytes == 128 * 2**30

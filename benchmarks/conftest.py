@@ -1,0 +1,1 @@
+"""Benchmark-harness conftest: keeps ``_common`` importable."""

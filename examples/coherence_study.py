@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Coherence design-space walk-through (Section IV-B).
+
+For one read-write-shared HPC workload (HPGMG), compares the four ways
+of keeping Remote Data Caches coherent and shows *why* each behaves as
+it does: RDC hit rates, invalidation traffic, and the analytic
+kernel-boundary flush costs of Table IV.
+
+Run:  python examples/coherence_study.py
+"""
+
+from repro import baseline_config, run_workload, time_of
+from repro.analysis.flush_cost import table4_rows
+from repro.analysis.report import format_table
+from repro.config import (
+    COHERENCE_DIRECTORY,
+    COHERENCE_HARDWARE,
+    COHERENCE_NONE,
+    COHERENCE_SOFTWARE,
+    INVALIDATE_MSG_BYTES,
+)
+
+WORKLOAD = "HPGMG"
+PROTOCOLS = [
+    (COHERENCE_NONE, "no coherence (upper bound)"),
+    (COHERENCE_SOFTWARE, "software (flush per kernel)"),
+    (COHERENCE_HARDWARE, "GPU-VI + IMST broadcast"),
+    (COHERENCE_DIRECTORY, "directory (targeted)"),
+]
+
+
+def main() -> None:
+    base = baseline_config()
+    t_numa = time_of(run_workload(WORKLOAD, base, label="numa-gpu"), base)
+
+    rows = []
+    for coherence, description in PROTOCOLS:
+        cfg = base.with_rdc(coherence=coherence)
+        r = run_workload(WORKLOAD, cfg, label=f"carve-{coherence}")
+        total = r.total()
+        inval_kb = total.invalidates_sent * INVALIDATE_MSG_BYTES / 1024
+        rows.append([
+            description,
+            f"{t_numa / time_of(r, cfg):.2f}x",
+            f"{total.rdc_hit_rate:.1%}",
+            f"{r.remote_fraction:.1%}",
+            f"{inval_kb:.0f} KB",
+        ])
+
+    print(format_table(
+        ["protocol", "speedup vs NUMA-GPU", "RDC hit rate",
+         "remote accesses", "invalidate traffic"],
+        rows,
+        title=f"RDC coherence on {WORKLOAD}",
+    ))
+
+    print()
+    print("Why software coherence cannot just be extended to the RDC")
+    print(format_table(
+        ["cache", "invalidate", "flush dirty"],
+        [list(r) for r in table4_rows(base.with_rdc())],
+        title="Table IV — worst-case kernel-boundary costs",
+    ))
+    print()
+    print("Software coherence flushes the RDC at every kernel boundary;")
+    print("epoch counters make the flush free but the *refetch* is not —")
+    print("all inter-kernel locality is lost, which is what the hit-rate")
+    print("column above shows. Hardware coherence keeps the RDC warm and")
+    print("the IMST keeps its invalidation traffic negligible.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Bring your own workload: define a WorkloadSpec and explore it.
+
+Models a hypothetical multi-GPU graph-analytics kernel — a large
+read-mostly CSR structure shared by all GPUs plus per-GPU frontier
+data — then asks the questions a system designer would:
+
+1. How NUMA-bound is it on the baseline?
+2. What does page sharing look like (the Fig. 4 analysis)?
+3. Does software replication fix it, or does it need CARVE?
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import WorkloadSpec, baseline_config, generate_trace, run_workload, time_of
+from repro.analysis.report import format_table
+from repro.analysis.sharing import profile_sharing
+from repro.config import REPLICATE_ALL, REPLICATE_READ_ONLY
+
+GRAPH = WorkloadSpec(
+    name="pagerank-like", abbr="pagerank", suite="custom",
+    footprint_bytes=3 * 2**30,        # 3 GB graph + rank vectors
+    n_kernels=8,                      # one kernel per iteration
+    coverage=1.2,
+    shared_page_frac=0.6,             # the CSR structure is shared ...
+    shared_access_frac=0.55,
+    rw_page_frac=0.25,                # ... and rank pages are written
+    line_write_frac=0.08,             # by a few owners (false sharing)
+    write_frac=0.2, shared_write_frac=0.04,
+    private_pattern="uniform",        # frontier-driven irregular access
+    shared_pattern="zipf", zipf_alpha=1.2,   # hub vertices are hot
+    instr_per_access=6.0, concurrency_per_sm=24.0,
+    seed=2024,
+)
+
+
+def main() -> None:
+    base = baseline_config()
+
+    # 1. Sharing analysis straight off the trace, no simulation needed.
+    profile = profile_sharing(generate_trace(GRAPH, base), base)
+    page = profile.access_distribution("page")
+    line = profile.access_distribution("line")
+    print(format_table(
+        ["granularity", "private", "ro-shared", "rw-shared"],
+        [
+            ["2 MB page", f"{page.private:.1%}", f"{page.ro_shared:.1%}",
+             f"{page.rw_shared:.1%}"],
+            ["128 B line", f"{line.private:.1%}", f"{line.ro_shared:.1%}",
+             f"{line.rw_shared:.1%}"],
+        ],
+        title=f"{GRAPH.name}: access distribution by sharing class",
+    ))
+    shared_gb = profile.shared_footprint_bytes() / 2**30
+    print(f"\nShared working-set cover: {shared_gb:.1f} GB "
+          f"(aggregate LLC: {base.total_llc_bytes / 2**20:.0f} MB)\n")
+
+    # 2. How do the systems stack up?
+    systems = {
+        "NUMA-GPU": base,
+        "+ RO replication": base.replace(replication=REPLICATE_READ_ONLY),
+        "+ CARVE 2GB (HWC)": base.with_rdc(),
+        "ideal (replicate all)": base.replace(replication=REPLICATE_ALL),
+    }
+    single = base.single_gpu()
+    t_single = time_of(run_workload(GRAPH, single, label="single"), single)
+    rows = []
+    for name, cfg in systems.items():
+        r = run_workload(GRAPH, cfg, label=name)
+        rows.append([
+            name,
+            f"{t_single / time_of(r, cfg):.2f}x",
+            f"{r.remote_fraction:.1%}",
+            f"{r.replication_pressure:.2f}x",
+        ])
+    print(format_table(
+        ["system", "speedup vs 1 GPU", "remote accesses", "memory pressure"],
+        rows,
+        title="System comparison",
+    ))
+    print()
+    print("Reading: RO replication helps the read-only CSR pages but "
+          "inflates memory; CARVE serves the read-write rank pages too, "
+          "at a 6% capacity cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Interconnect planning: when does a faster NVLink stop mattering?
+
+A system architect's view of Fig. 14: simulate the headline systems
+once, then re-price the same traffic counters under many link
+bandwidths (counters are bandwidth-independent, so the sweep is free).
+Prints the geomean speedup curve and the bandwidth at which the
+baseline finally matches what CARVE already achieves at 32 GB/s.
+
+Run:  python examples/link_bandwidth_planning.py [workload ...]
+"""
+
+import sys
+
+from repro import PerformanceModel, baseline_config, run_workload
+from repro.analysis.report import series_table
+from repro.config import LinkConfig
+from repro.perf.model import geometric_mean
+
+BWS_GBS = [8, 16, 32, 64, 128, 256, 512]
+DEFAULT_WORKLOADS = ["Lulesh", "HPGMG", "XSBench", "SSSP", "bfs-road"]
+
+
+def priced(cfg, bw_gbs):
+    return cfg.replace(link=LinkConfig(
+        inter_gpu_bytes_per_s=bw_gbs * 1e9,
+        cpu_gpu_bytes_per_s=cfg.link.cpu_gpu_bytes_per_s,
+        latency_ns=cfg.link.latency_ns,
+    ))
+
+
+def main() -> None:
+    workloads = sys.argv[1:] or DEFAULT_WORKLOADS
+    base = baseline_config()
+    carve = base.with_rdc()
+    single = base.single_gpu()
+
+    print(f"Simulating {len(workloads)} workloads on 3 systems ...")
+    runs = {
+        "numa-gpu": (base, {w: run_workload(w, base, label="numa-gpu")
+                            for w in workloads}),
+        "carve-hwc": (carve, {w: run_workload(w, carve, label="carve-hwc")
+                              for w in workloads}),
+    }
+    t_single = {
+        w: PerformanceModel(single).total_time_s(
+            run_workload(w, single, label="single-gpu"))
+        for w in workloads
+    }
+
+    series = {}
+    for name, (cfg, results) in runs.items():
+        curve = {}
+        for bw in BWS_GBS:
+            model = PerformanceModel(priced(cfg, bw))
+            curve[float(bw)] = geometric_mean([
+                t_single[w] / model.total_time_s(r)
+                for w, r in results.items()
+            ])
+        series[name] = curve
+    print()
+    print(series_table(series, "link GB/s",
+                       title="Geomean speedup over 1 GPU vs link bandwidth"))
+
+    carve_at_32 = series["carve-hwc"][32.0]
+    crossover = next(
+        (bw for bw in BWS_GBS if series["numa-gpu"][float(bw)] >= carve_at_32),
+        None,
+    )
+    print()
+    if crossover is None:
+        print(f"No simulated bandwidth (up to {BWS_GBS[-1]} GB/s) lets the "
+              f"baseline match CARVE at 32 GB/s ({carve_at_32:.2f}x).")
+    else:
+        print(f"The baseline needs ~{crossover} GB/s links to match what "
+              f"CARVE delivers on 32 GB/s links ({carve_at_32:.2f}x) — "
+              f"capacity in local memory substitutes for interconnect.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one workload on NUMA-GPU and on NUMA-GPU + CARVE.
+
+Builds the Table III baseline 4-GPU system, runs the Lulesh workload on
+it with and without a 2 GB CARVE Remote Data Cache, and reports the
+remote-access fraction, RDC hit rate, and speedup — the paper's headline
+mechanism in ~30 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import baseline_config, carve_config, run_workload, time_of
+
+
+def main() -> None:
+    numa = baseline_config()           # Table III: 4 GPUs, 64 GB/s links
+    carve = carve_config()             # + 2 GB/GPU RDC, hardware coherence
+
+    print("Simulating Lulesh on baseline NUMA-GPU ...")
+    r_numa = run_workload("Lulesh", numa, label="numa-gpu")
+    print("Simulating Lulesh on NUMA-GPU + CARVE (2 GB RDC, HW coherence) ...")
+    r_carve = run_workload("Lulesh", carve, label="carve-hwc")
+
+    t_numa = time_of(r_numa, numa)
+    t_carve = time_of(r_carve, carve)
+
+    print()
+    print(f"remote accesses, NUMA-GPU : {r_numa.remote_fraction:6.1%}")
+    print(f"remote accesses, CARVE    : {r_carve.remote_fraction:6.1%}")
+    print(f"RDC hit rate              : {r_carve.total().rdc_hit_rate:6.1%}")
+    print(f"CARVE speedup over NUMA-GPU: {t_numa / t_carve:.2f}x")
+
+    single = numa.single_gpu()
+    r_single = run_workload("Lulesh", single, label="single-gpu")
+    t_single = time_of(r_single, single)
+    print()
+    print("Speedup over one GPU:")
+    print(f"  NUMA-GPU        : {t_single / t_numa:.2f}x")
+    print(f"  NUMA-GPU + CARVE: {t_single / t_carve:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""RDC sizing study: how much GPU memory should CARVE carve out?
+
+Sweeps the Remote Data Cache size for three workloads with very
+different shared working sets and weighs the speedup against the
+capacity cost (the Table V trade-off):
+
+* Lulesh     — small shared set: saturates at the smallest RDC;
+* XSBench    — multi-GB shared set: keeps gaining with size;
+* RandAccess — thrashes every size (CARVE's known outlier).
+
+Run:  python examples/rdc_sizing_study.py
+"""
+
+from repro import baseline_config, run_workload, time_of
+from repro.analysis.report import format_table
+from repro.numa.unified_memory import assess_capacity_loss
+
+GB = 2**30
+SIZES_GB = [0.5, 1.0, 2.0, 4.0, 8.0]
+WORKLOADS = ["Lulesh", "XSBench", "RandAccess"]
+
+
+def main() -> None:
+    base = baseline_config()
+    print("Simulating the baseline (this may take a minute) ...")
+    t_numa = {
+        w: time_of(run_workload(w, base, label="numa-gpu"), base)
+        for w in WORKLOADS
+    }
+
+    rows = []
+    for size_gb in SIZES_GB:
+        cfg = base.with_rdc(int(size_gb * GB))
+        cells = [f"{size_gb:g} GB",
+                 f"{size_gb / 32:.1%}"]
+        for w in WORKLOADS:
+            r = run_workload(w, cfg, label=f"carve-hwc-{size_gb:g}GB")
+            cells.append(f"{t_numa[w] / time_of(r, cfg):.2f}x")
+        rows.append(cells)
+
+    print()
+    print(format_table(
+        ["RDC / GPU", "carve-out"] + [f"{w} gain" for w in WORKLOADS],
+        rows,
+        title="Speedup over baseline NUMA-GPU per RDC size",
+    ))
+
+    # The other side of the trade-off: what the lost capacity costs a
+    # workload whose footprint already fills GPU memory.
+    print()
+    print("Capacity cost if the footprint already fills GPU memory")
+    r = run_workload("XSBench", base, label="numa-gpu")
+    t = time_of(r, base)
+    for size_gb in SIZES_GB:
+        spill = size_gb / 32  # carve-out fraction of a 32 GB GPU
+        a = assess_capacity_loss(
+            r.page_access_counts or [], spill, base, t, r.total().accesses
+        )
+        print(f"  {size_gb:>4g} GB carve-out -> spill {spill:5.1%} of pages, "
+              f"slowdown {a.slowdown:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

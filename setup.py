@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment has setuptools but no wheel
+package, so PEP 517 editable installs fail; ``--no-use-pep517`` needs a
+setup.py.  All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

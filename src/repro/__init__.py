@@ -1,0 +1,74 @@
+"""CARVE: Caching Remote Data in Video Memory — a reproduction.
+
+A trace-driven multi-GPU NUMA simulator and analysis toolkit reproducing
+Young et al., *"Combining HW/SW Mechanisms to Improve NUMA Performance of
+Multi-GPU Systems"* (MICRO 2018).
+
+Quickstart::
+
+    from repro import carve_config, baseline_config, run_workload, time_of
+
+    numa = baseline_config()                 # Table III NUMA-GPU
+    carve = carve_config(rdc_bytes=2 << 30)  # + 2 GB CARVE-HWC RDC
+    r_numa = run_workload("Lulesh", numa)
+    r_carve = run_workload("Lulesh", carve)
+    print(r_numa.remote_fraction, r_carve.remote_fraction)
+    print(time_of(r_numa, numa) / time_of(r_carve, carve))
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the scripts
+regenerating every table and figure of the paper.
+"""
+
+from repro.config import (
+    COHERENCE_DIRECTORY,
+    COHERENCE_HARDWARE,
+    COHERENCE_NONE,
+    COHERENCE_SOFTWARE,
+    LINE_BYTES,
+    ConfigError,
+    GpuConfig,
+    LinkConfig,
+    MemoryConfig,
+    RdcConfig,
+    SystemConfig,
+    baseline_config,
+    carve_config,
+)
+from repro.gpu.cta import KernelTrace, WorkloadTrace
+from repro.numa.system import MultiGpuSystem
+from repro.perf.model import PerformanceModel, geometric_mean, speedup
+from repro.perf.stats import RunResult
+from repro.sim.driver import run_time, run_workload, time_of
+from repro.workloads import suite
+from repro.workloads.base import WorkloadSpec, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COHERENCE_DIRECTORY",
+    "COHERENCE_HARDWARE",
+    "COHERENCE_NONE",
+    "COHERENCE_SOFTWARE",
+    "ConfigError",
+    "GpuConfig",
+    "KernelTrace",
+    "LINE_BYTES",
+    "LinkConfig",
+    "MemoryConfig",
+    "MultiGpuSystem",
+    "PerformanceModel",
+    "RdcConfig",
+    "RunResult",
+    "SystemConfig",
+    "WorkloadSpec",
+    "WorkloadTrace",
+    "baseline_config",
+    "carve_config",
+    "generate_trace",
+    "geometric_mean",
+    "run_time",
+    "run_workload",
+    "speedup",
+    "suite",
+    "time_of",
+]

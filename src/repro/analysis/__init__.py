@@ -1,0 +1,1 @@
+"""analysis subpackage of the CARVE reproduction."""

@@ -1,0 +1,122 @@
+"""Per-run bottleneck and traffic diagnostics.
+
+When a configuration underperforms, the first questions are *which
+resource saturated* and *where the bytes went*.  This module condenses a
+:class:`RunResult` into those answers: per-kernel bottleneck labels, a
+traffic breakdown by destination (L1/L2/local DRAM/RDC/remote), and the
+time split the roofline model assigned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import LINE_BYTES, SystemConfig
+from repro.perf.model import PerformanceModel
+from repro.perf.stats import RunResult
+
+
+@dataclass
+class TrafficBreakdown:
+    """Where demand accesses were served, as fractions of all accesses."""
+
+    accesses: int = 0
+    l1_hits: float = 0.0
+    l2_hits: float = 0.0
+    local_dram: float = 0.0
+    rdc_hits: float = 0.0
+    remote: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "l1_hits": self.l1_hits,
+            "l2_hits": self.l2_hits,
+            "local_dram": self.local_dram,
+            "rdc_hits": self.rdc_hits,
+            "remote": self.remote,
+        }
+
+
+@dataclass
+class BottleneckReport:
+    """Condensed diagnostics for one run under one configuration."""
+
+    workload: str
+    config_label: str
+    total_time_s: float
+    #: kernel-count histogram of the binding resource per GPU-kernel.
+    bottlenecks: dict[str, int] = field(default_factory=dict)
+    traffic: TrafficBreakdown = field(default_factory=TrafficBreakdown)
+    #: bytes moved over the busiest directional link, summed over kernels.
+    busiest_link_bytes: int = 0
+    #: total bytes through all local DRAM devices.
+    dram_bytes: int = 0
+    #: coherence invalidation messages sent.
+    invalidates: int = 0
+
+    @property
+    def dominant_bottleneck(self) -> str:
+        if not self.bottlenecks:
+            return "idle"
+        return max(self.bottlenecks, key=self.bottlenecks.get)  # type: ignore[arg-type]
+
+
+def traffic_breakdown(result: RunResult) -> TrafficBreakdown:
+    """Classify where each measured demand access was served."""
+    t = result.total()
+    if not t.accesses:
+        return TrafficBreakdown()
+    n = t.accesses
+    # RDC hits are included in local_reads; split them out.
+    local_mem = t.local_reads + t.local_writes - t.rdc_hits
+    return TrafficBreakdown(
+        accesses=n,
+        l1_hits=t.l1_hits / n,
+        l2_hits=t.l2_hits / n,
+        local_dram=max(0, local_mem) / n,
+        rdc_hits=t.rdc_hits / n,
+        remote=(t.remote_reads + t.remote_writes) / n,
+    )
+
+
+def analyze(result: RunResult, config: SystemConfig) -> BottleneckReport:
+    """Build the full diagnostic report for a run."""
+    model = PerformanceModel(config)
+    rt = model.run_time(result)
+    hist: dict[str, int] = {}
+    for kt in rt.kernels:
+        for b in kt.bottlenecks:
+            hist[b] = hist.get(b, 0) + 1
+    total = result.total()
+    busiest = 0
+    for ks in result.measured_kernels():
+        for g in range(ks.n_gpus):
+            busiest = max(busiest, ks.max_link_bytes(g))
+    return BottleneckReport(
+        workload=result.workload,
+        config_label=result.config_label,
+        total_time_s=rt.total_s,
+        bottlenecks=hist,
+        traffic=traffic_breakdown(result),
+        busiest_link_bytes=busiest,
+        dram_bytes=(total.dram_reads + total.dram_writes) * LINE_BYTES,
+        invalidates=total.invalidates_sent,
+    )
+
+
+def render(report: BottleneckReport) -> str:
+    """Human-readable one-screen summary."""
+    lines = [
+        f"{report.workload} on {report.config_label}",
+        f"  time: {report.total_time_s:.3e} s "
+        f"(dominant bottleneck: {report.dominant_bottleneck})",
+        "  bottleneck histogram: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(report.bottlenecks.items())),
+        "  demand access mix:",
+    ]
+    for name, frac in report.traffic.as_dict().items():
+        lines.append(f"    {name:<10} {frac:6.1%}")
+    lines.append(f"  busiest link: {report.busiest_link_bytes / 1024:.0f} KiB")
+    lines.append(f"  DRAM traffic: {report.dram_bytes / 1024:.0f} KiB")
+    lines.append(f"  invalidates sent: {report.invalidates}")
+    return "\n".join(lines)

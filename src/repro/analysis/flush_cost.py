@@ -1,0 +1,92 @@
+"""Analytic kernel-launch delay under software coherence (Table IV).
+
+Software coherence requires, at every kernel boundary, (a) invalidating
+every cached line of remote data and (b) flushing dirty data home.  For
+an on-chip LLC both costs hide inside the kernel-launch latency; for a
+giga-scale RDC the naive costs reach milliseconds — which is what the
+epoch-counter invalidation (0 ms) and write-through policy (0 ms flush)
+eliminate.
+
+All costs are computed from the system configuration in *real* units
+(the scale factor does not apply: this is architecture arithmetic, not
+simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import LINE_BYTES, SystemConfig
+
+
+@dataclass(frozen=True)
+class FlushCost:
+    """Worst-case kernel-boundary coherence cost of one cache, seconds."""
+
+    invalidate_s: float
+    flush_dirty_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.invalidate_s + self.flush_dirty_s
+
+
+def llc_flush_cost(config: SystemConfig, banks: int = 16) -> FlushCost:
+    """On-chip LLC: tag-walk invalidation + dirty writeback to local DRAM.
+
+    Invalidation walks every line's tag at one line per bank per cycle;
+    the dirty flush streams (worst case) the whole LLC to local memory.
+    """
+    lines = config.gpu.l2_bytes // LINE_BYTES
+    invalidate = lines / banks / config.gpu.freq_hz
+    flush = config.gpu.l2_bytes / config.memory.bandwidth_bytes_per_s
+    return FlushCost(invalidate_s=invalidate, flush_dirty_s=flush)
+
+
+def rdc_flush_cost_naive(config: SystemConfig) -> FlushCost:
+    """RDC without epoch counters / write-through.
+
+    Invalidation must read+write every in-memory tag (the whole carve-out
+    at local bandwidth); the dirty flush streams the carve-out to remote
+    memory over the inter-GPU link.
+    """
+    if config.rdc is None:
+        raise ValueError("configuration has no RDC")
+    size = config.rdc.size_bytes
+    invalidate = size / config.memory.bandwidth_bytes_per_s
+    flush = size / config.link.inter_gpu_bytes_per_s
+    return FlushCost(invalidate_s=invalidate, flush_dirty_s=flush)
+
+
+def rdc_flush_cost_carve(config: SystemConfig) -> FlushCost:
+    """RDC with epoch-counter invalidation and a write-through policy.
+
+    Epoch increment invalidates in O(1); write-through leaves nothing
+    dirty.  Both costs are exactly zero — Table IV's "=> 0 ms" entries.
+    """
+    if config.rdc is None:
+        raise ValueError("configuration has no RDC")
+    return FlushCost(invalidate_s=0.0, flush_dirty_s=0.0)
+
+
+def table4_rows(config: SystemConfig) -> list[tuple[str, str, str]]:
+    """Rows of Table IV: (cache, invalidate cost, dirty-flush cost)."""
+    if config.rdc is None:
+        raise ValueError("configuration has no RDC")
+    llc = llc_flush_cost(config)
+    naive = rdc_flush_cost_naive(config)
+    carve = rdc_flush_cost_carve(config)
+
+    def fmt(seconds: float) -> str:
+        if seconds == 0:
+            return "0 ms"
+        if seconds < 1e-3:
+            return f"{seconds * 1e6:.0f} us"
+        return f"{seconds * 1e3:.0f} ms"
+
+    return [
+        ("L2 cache", fmt(llc.invalidate_s), fmt(llc.flush_dirty_s)),
+        ("RDC (naive)", fmt(naive.invalidate_s), fmt(naive.flush_dirty_s)),
+        ("RDC (epoch + write-through)", fmt(carve.invalidate_s),
+         fmt(carve.flush_dirty_s)),
+    ]

@@ -1,0 +1,113 @@
+"""Text rendering of the paper's tables and figures.
+
+Benchmarks print through these helpers so every figure comes out as the
+same kind of row/series the paper reports, ready to diff against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.perf.model import geometric_mean
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Plain fixed-width table (no external dependencies)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def per_workload_table(
+    series: Mapping[str, Mapping[str, float]],
+    value_format: str = "{:.2f}",
+    title: Optional[str] = None,
+    geomean_row: bool = True,
+) -> str:
+    """Render {config -> {workload -> value}} with one column per config."""
+    configs = list(series)
+    workloads: list[str] = []
+    for cfg in configs:
+        for w in series[cfg]:
+            if w not in workloads:
+                workloads.append(w)
+    headers = ["workload"] + configs
+    rows = []
+    for w in workloads:
+        rows.append(
+            [w]
+            + [
+                value_format.format(series[c][w]) if w in series[c] else "-"
+                for c in configs
+            ]
+        )
+    if geomean_row:
+        gm_cells = []
+        for c in configs:
+            values = [v for v in series[c].values() if v > 0]
+            gm_cells.append(value_format.format(geometric_mean(values)))
+        rows.append(["GEOMEAN"] + gm_cells)
+    return format_table(headers, rows, title=title)
+
+
+def series_table(
+    series: Mapping[str, Mapping[float, float]],
+    x_label: str,
+    value_format: str = "{:.2f}",
+    x_format: str = "{:g}",
+    title: Optional[str] = None,
+) -> str:
+    """Render {config -> {x -> y}} with one row per x value (Fig. 14)."""
+    configs = list(series)
+    xs: list[float] = []
+    for cfg in configs:
+        for x in series[cfg]:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    headers = [x_label] + configs
+    rows = []
+    for x in xs:
+        rows.append(
+            [x_format.format(x)]
+            + [
+                value_format.format(series[c][x]) if x in series[c] else "-"
+                for c in configs
+            ]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    value_format: str = "{:.2f}",
+    title: Optional[str] = None,
+) -> str:
+    """ASCII horizontal bar chart (quick visual sanity checks)."""
+    if not values:
+        return title or ""
+    peak = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, v in values.items():
+        bar = "#" * (int(round(width * v / peak)) if peak > 0 else 0)
+        lines.append(f"{name.ljust(label_w)} | {bar} {value_format.format(v)}")
+    return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Sharing classification of pages and cache lines (Figs. 4 and 5).
+
+Given a workload trace and a CTA schedule, every page (and line) is
+classified by *which GPUs read and wrote it* over the whole execution:
+
+* ``private``   — accessed by exactly one GPU;
+* ``ro_shared`` — accessed by two or more GPUs, never written;
+* ``rw_shared`` — accessed by two or more GPUs and written by someone.
+
+The page-vs-line comparison exposes *false sharing*: with 2 MB pages a
+single written line makes the whole page read-write shared, while at
+128 B granularity most of those lines are read-only.  This observation is
+what makes a fine-grain RDC (and its cheap coherence) viable.
+
+The same profile drives the software replication policies: read-only
+shared pages are replicable; an ideal system replicates every shared page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.gpu.cta import WorkloadTrace
+from repro.gpu.scheduler import assign_ctas
+
+PRIVATE = "private"
+RO_SHARED = "ro_shared"
+RW_SHARED = "rw_shared"
+
+CATEGORIES = (PRIVATE, RO_SHARED, RW_SHARED)
+
+
+@dataclass
+class AccessDistribution:
+    """Fraction of dynamic accesses landing in each sharing category."""
+
+    private: float = 0.0
+    ro_shared: float = 0.0
+    rw_shared: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            PRIVATE: self.private,
+            RO_SHARED: self.ro_shared,
+            RW_SHARED: self.rw_shared,
+        }
+
+    @property
+    def shared(self) -> float:
+        return self.ro_shared + self.rw_shared
+
+
+@dataclass
+class SharingProfile:
+    """Complete sharing metadata of one (workload, schedule) pairing."""
+
+    workload: str
+    n_gpus: int
+    lines_per_page: int
+    page_bytes: int
+    #: page -> bitmask of GPUs that accessed / wrote it.
+    page_accessors: dict[int, int] = field(default_factory=dict)
+    page_writers: dict[int, int] = field(default_factory=dict)
+    #: line -> bitmask of GPUs that accessed / wrote it.
+    line_accessors: dict[int, int] = field(default_factory=dict)
+    line_writers: dict[int, int] = field(default_factory=dict)
+    #: page -> total dynamic accesses (drives the UM spill model).
+    page_access_counts: dict[int, int] = field(default_factory=dict)
+    #: line -> total dynamic accesses.
+    line_access_counts: dict[int, int] = field(default_factory=dict)
+
+    # -- classification -----------------------------------------------------
+
+    def classify_page(self, page: int) -> str:
+        return self._classify(
+            self.page_accessors.get(page, 0), self.page_writers.get(page, 0)
+        )
+
+    def classify_line(self, line: int) -> str:
+        return self._classify(
+            self.line_accessors.get(line, 0), self.line_writers.get(line, 0)
+        )
+
+    @staticmethod
+    def _classify(accessors_mask: int, writers_mask: int) -> str:
+        n_accessors = bin(accessors_mask).count("1")
+        if n_accessors <= 1:
+            return PRIVATE
+        return RW_SHARED if writers_mask else RO_SHARED
+
+    # -- policy inputs ------------------------------------------------------
+
+    def ro_shared_pages(self) -> set[int]:
+        return {p for p in self.page_accessors if self.classify_page(p) == RO_SHARED}
+
+    def shared_pages(self) -> set[int]:
+        return {p for p in self.page_accessors if self.classify_page(p) != PRIVATE}
+
+    def accessors_of_page(self, page: int) -> list[int]:
+        mask = self.page_accessors.get(page, 0)
+        return [g for g in range(self.n_gpus) if mask >> g & 1]
+
+    # -- Fig. 4: dynamic access distribution ---------------------------------
+
+    def access_distribution(self, granularity: str = "page") -> AccessDistribution:
+        if granularity == "page":
+            counts, classify = self.page_access_counts, self.classify_page
+        elif granularity == "line":
+            counts, classify = self.line_access_counts, self.classify_line
+        else:
+            raise ValueError(f"unknown granularity {granularity!r}")
+        totals = {c: 0 for c in CATEGORIES}
+        for unit, n in counts.items():
+            totals[classify(unit)] += n
+        total = sum(totals.values())
+        if not total:
+            return AccessDistribution()
+        return AccessDistribution(
+            private=totals[PRIVATE] / total,
+            ro_shared=totals[RO_SHARED] / total,
+            rw_shared=totals[RW_SHARED] / total,
+        )
+
+    # -- Fig. 5: shared working-set footprint ---------------------------------
+
+    def shared_footprint_bytes(self) -> int:
+        """Memory needed system-wide to cover the shared working set.
+
+        Each shared page must be held by every accessor beyond its home,
+        so the cover cost is ``(accessors - 1) * page_bytes`` summed over
+        shared pages — the paper's "total number of unique remote pages
+        fetched by the different GPUs".
+
+        The result is in *real* (unscaled) bytes: capacity scaling shrinks
+        the page size and the footprint together, so the page count is
+        scale-invariant and pricing each page at the real ``page_bytes``
+        recovers the real footprint.
+        """
+        total = 0
+        for page, mask in self.page_accessors.items():
+            n = bin(mask).count("1")
+            if n > 1:
+                total += (n - 1) * self.page_bytes
+        return total
+
+    def footprint_bytes(self) -> int:
+        return len(self.page_accessors) * self.page_bytes
+
+    def sorted_page_access_counts(self) -> list[int]:
+        """Per-page access counts, hottest first (UM spill model input)."""
+        return sorted(self.page_access_counts.values(), reverse=True)
+
+
+def profile_sharing(trace: WorkloadTrace, config: SystemConfig) -> SharingProfile:
+    """Build the :class:`SharingProfile` of *trace* under *config*."""
+    lpp = config.lines_per_page
+    profile = SharingProfile(
+        workload=trace.name,
+        n_gpus=config.n_gpus,
+        lines_per_page=lpp,
+        page_bytes=config.page_bytes,
+    )
+    pa, pw = profile.page_accessors, profile.page_writers
+    la, lw = profile.line_accessors, profile.line_writers
+    pc, lc = profile.page_access_counts, profile.line_access_counts
+    for kernel in trace.kernels:
+        cta_to_gpu = assign_ctas(kernel, config.n_gpus, config.scheduling)
+        access_gpu = cta_to_gpu[kernel.cta_ids]
+        pages = kernel.lines // lpp
+        for g in range(config.n_gpus):
+            mask = access_gpu == g
+            bit = 1 << g
+            for p in np.unique(pages[mask]):
+                pa[int(p)] = pa.get(int(p), 0) | bit
+            for p in np.unique(pages[mask & kernel.is_write]):
+                pw[int(p)] = pw.get(int(p), 0) | bit
+            for ln in np.unique(kernel.lines[mask]):
+                la[int(ln)] = la.get(int(ln), 0) | bit
+            for ln in np.unique(kernel.lines[mask & kernel.is_write]):
+                lw[int(ln)] = lw.get(int(ln), 0) | bit
+        upages, counts = np.unique(pages, return_counts=True)
+        for p, n in zip(upages, counts):
+            pc[int(p)] = pc.get(int(p), 0) + int(n)
+        ulines, counts = np.unique(kernel.lines, return_counts=True)
+        for ln, n in zip(ulines, counts):
+            lc[int(ln)] = lc.get(int(ln), 0) + int(n)
+    return profile

@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+Exposes the library's common operations without writing Python:
+
+    python -m repro list                      # the Table II suite
+    python -m repro run Lulesh --system carve-hwc
+    python -m repro compare Lulesh            # all headline systems
+    python -m repro sharing XSBench           # Fig. 4-style analysis
+    python -m repro configs                   # experiment registry
+    python -m repro cache --clear             # simulation result cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.bottleneck import analyze, render
+from repro.analysis.report import format_table
+from repro.analysis.sharing import profile_sharing
+from repro.sim import cache as simcache
+from repro.sim import experiments as E
+from repro.sim.driver import run_workload, time_of
+from repro.workloads import suite
+from repro.workloads.base import generate_trace
+
+_HEADLINE = (E.SINGLE_GPU, E.NUMA_GPU, E.NUMA_REPL_RO, E.CARVE_HWC, E.IDEAL)
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        [s, name, abbr, fp, suite.GROUPS[abbr]]
+        for (s, name, abbr, fp) in suite.table2_rows()
+    ]
+    print(format_table(
+        ["suite", "benchmark", "abbr", "footprint", "behaviour group"],
+        rows, title="Workload suite (Table II)",
+    ))
+    return 0
+
+
+def _cmd_configs(_args) -> int:
+    rows = []
+    for name, cfg in E.experiment_configs().items():
+        rdc = "-" if cfg.rdc is None else (
+            f"{cfg.rdc.size_bytes / 2**30:g} GB / {cfg.rdc.coherence}"
+        )
+        rows.append([
+            name, str(cfg.n_gpus), cfg.replication,
+            "yes" if cfg.migration else "no", rdc,
+        ])
+    print(format_table(
+        ["config", "GPUs", "replication", "migration", "RDC"],
+        rows, title="Experiment configurations",
+    ))
+    return 0
+
+
+def _resolve_config(name: str, rdc_gb: Optional[float]):
+    rdc_bytes = int(rdc_gb * 2**30) if rdc_gb else 2 * 2**30
+    return E.config_for(name, rdc_bytes=rdc_bytes)
+
+
+def _cmd_run(args) -> int:
+    cfg = _resolve_config(args.system, args.rdc_gb)
+    result = run_workload(args.workload, cfg, label=args.system,
+                          use_cache=not args.no_cache)
+    print(render(analyze(result, cfg)))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    rows = []
+    t_single = None
+    for name in _HEADLINE:
+        cfg = _resolve_config(name, args.rdc_gb)
+        r = run_workload(args.workload, cfg, label=name,
+                         use_cache=not args.no_cache)
+        t = time_of(r, cfg)
+        if name == E.SINGLE_GPU:
+            t_single = t
+        speedup = "-" if t_single is None else f"{t_single / t:.2f}x"
+        rows.append([name, speedup, f"{r.remote_fraction:.1%}",
+                     f"{r.replication_pressure:.2f}x"])
+    print(format_table(
+        ["system", "speedup vs 1 GPU", "remote accesses", "memory pressure"],
+        rows, title=f"{args.workload} across the headline systems",
+    ))
+    return 0
+
+
+def _cmd_sharing(args) -> int:
+    cfg = E.config_for(E.NUMA_GPU)
+    spec = suite.get(args.workload)
+    profile = profile_sharing(generate_trace(spec, cfg), cfg)
+    page = profile.access_distribution("page")
+    line = profile.access_distribution("line")
+    print(format_table(
+        ["granularity", "private", "ro-shared", "rw-shared"],
+        [
+            ["2 MB page", f"{page.private:.1%}", f"{page.ro_shared:.1%}",
+             f"{page.rw_shared:.1%}"],
+            ["128 B line", f"{line.private:.1%}", f"{line.ro_shared:.1%}",
+             f"{line.rw_shared:.1%}"],
+        ],
+        title=f"{args.workload}: access distribution (Fig. 4 analysis)",
+    ))
+    fp = profile.shared_footprint_bytes()
+    print(f"\nshared working-set cover: {fp / 2**30:.2f} GB "
+          f"(aggregate LLC: {cfg.total_llc_bytes / 2**20:.0f} MB)")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    if args.clear:
+        n = simcache.clear()
+        print(f"removed {n} cached run(s)")
+    else:
+        d = simcache.cache_dir()
+        entries = list(d.glob("*.pkl")) if d.exists() else []
+        total = sum(p.stat().st_size for p in entries)
+        print(f"{len(entries)} cached run(s), {total / 2**20:.1f} MiB in {d}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CARVE multi-GPU NUMA simulator (MICRO 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the workload suite").set_defaults(
+        fn=_cmd_list
+    )
+    sub.add_parser("configs", help="list experiment configs").set_defaults(
+        fn=_cmd_configs
+    )
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p.add_argument("workload", choices=suite.all_abbrs())
+    run_p.add_argument("--system", default=E.CARVE_HWC,
+                       choices=sorted(E.experiment_configs()))
+    run_p.add_argument("--rdc-gb", type=float, default=None,
+                       help="RDC size per GPU in GB (CARVE systems)")
+    run_p.add_argument("--no-cache", action="store_true")
+    run_p.set_defaults(fn=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="compare the headline systems")
+    cmp_p.add_argument("workload", choices=suite.all_abbrs())
+    cmp_p.add_argument("--rdc-gb", type=float, default=None)
+    cmp_p.add_argument("--no-cache", action="store_true")
+    cmp_p.set_defaults(fn=_cmd_compare)
+
+    sh_p = sub.add_parser("sharing", help="page/line sharing analysis")
+    sh_p.add_argument("workload", choices=suite.all_abbrs())
+    sh_p.set_defaults(fn=_cmd_sharing)
+
+    cache_p = sub.add_parser("cache", help="inspect/clear the result cache")
+    cache_p.add_argument("--clear", action="store_true")
+    cache_p.set_defaults(fn=_cmd_cache)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

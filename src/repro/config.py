@@ -1,0 +1,342 @@
+"""System configuration for the multi-GPU NUMA simulator.
+
+All capacities are expressed in *real* units (bytes, bytes/second) matching
+Table III of the paper.  A :class:`Scale` divides capacities and footprints
+uniformly so that simulations complete in seconds while preserving every
+ratio that governs NUMA behaviour (shared-footprint/LLC, RDC/footprint,
+lines-per-page, link-BW/local-BW).
+
+The cache line is the simulator's unit of data and is *never* scaled:
+addresses handled by the simulator are line numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Cache line size in bytes (Table III: 128 B lines).  Never scaled.
+LINE_BYTES = 128
+
+#: Bytes of request/command overhead per remote transaction on a link.
+LINK_HEADER_BYTES = 32
+
+#: Bytes of a coherence control message (write-invalidate broadcast).
+INVALIDATE_MSG_BYTES = 16
+
+#: Default capacity scale factor.  2 MB pages become 2 KB (16 lines), the
+#: per-GPU 8 MB LLC slice becomes 8 KB (64 lines), a 2 GB RDC becomes
+#: 2 MB (16 Ki lines).
+DEFAULT_SCALE = 1024
+
+
+class ConfigError(ValueError):
+    """Raised when a configuration is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Per-GPU compute and on-chip cache parameters (Pascal-like)."""
+
+    n_sms: int = 64
+    warps_per_sm: int = 64
+    ipc_per_sm: float = 1.0
+    freq_hz: float = 1.0e9
+    #: Aggregate L1 capacity across all SMs (64 SMs x 128 KB).
+    l1_bytes: int = 64 * 128 * 1024
+    l1_ways: int = 4
+    #: Per-GPU slice of the shared LLC (32 MB total / 4 GPUs).
+    l2_bytes: int = 8 * 2**20
+    l2_ways: int = 16
+    l2_hit_latency_ns: float = 30.0
+
+    def validate(self) -> None:
+        if self.n_sms <= 0 or self.warps_per_sm <= 0:
+            raise ConfigError("GPU must have positive SM and warp counts")
+        if self.ipc_per_sm <= 0 or self.freq_hz <= 0:
+            raise ConfigError("GPU throughput parameters must be positive")
+        if self.l1_bytes <= 0 or self.l2_bytes <= 0:
+            raise ConfigError("cache capacities must be positive")
+        if self.l1_ways <= 0 or self.l2_ways <= 0:
+            raise ConfigError("cache associativities must be positive")
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Local GPU memory (HBM) parameters."""
+
+    capacity_bytes: int = 32 * 2**30
+    bandwidth_bytes_per_s: float = 1.0e12
+    n_channels: int = 32
+    banks_per_channel: int = 16
+    row_bytes: int = 2 * 1024
+    row_hit_latency_ns: float = 160.0
+    row_miss_latency_ns: float = 320.0
+    read_queue_entries: int = 128
+    write_queue_entries: int = 128
+
+    def validate(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError("memory capacity must be positive")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigError("memory bandwidth must be positive")
+        if self.n_channels <= 0 or self.banks_per_channel <= 0:
+            raise ConfigError("memory geometry must be positive")
+        if self.row_bytes < LINE_BYTES:
+            raise ConfigError("a DRAM row must hold at least one line")
+
+
+#: Interconnect topologies.
+TOPOLOGY_P2P = "p2p"        # dedicated point-to-point link per GPU pair
+TOPOLOGY_SWITCH = "switch"  # NVSwitch-style fabric, one port per GPU
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Inter-GPU and CPU-GPU interconnect parameters (NVLink-like).
+
+    Two topologies are modelled.  Under ``p2p`` every ordered GPU pair
+    has a dedicated uni-directional link of ``inter_gpu_bytes_per_s``
+    (the paper's DGX-1-style baseline); a GPU talking to all peers at
+    once enjoys the aggregate.  Under ``switch`` (NVSwitch-style, the
+    paper's reference [51]) each GPU has one fabric port of
+    ``inter_gpu_bytes_per_s`` in each direction — skewed traffic to a
+    single hot peer is no longer limited by one pairwise link, but the
+    aggregate per GPU no longer scales with the peer count.
+    """
+
+    #: Uni-directional bandwidth of each inter-GPU link (p2p) or of each
+    #: GPU's fabric port (switch).
+    inter_gpu_bytes_per_s: float = 64.0e9
+    #: Uni-directional bandwidth of the CPU link per GPU.
+    cpu_gpu_bytes_per_s: float = 32.0e9
+    #: One-way traversal latency of a link.
+    latency_ns: float = 400.0
+    topology: str = TOPOLOGY_P2P
+
+    def validate(self) -> None:
+        if self.inter_gpu_bytes_per_s <= 0 or self.cpu_gpu_bytes_per_s <= 0:
+            raise ConfigError("link bandwidths must be positive")
+        if self.latency_ns < 0:
+            raise ConfigError("link latency cannot be negative")
+        if self.topology not in (TOPOLOGY_P2P, TOPOLOGY_SWITCH):
+            raise ConfigError(f"unknown link topology {self.topology!r}")
+
+
+#: RDC write policies.
+WRITE_THROUGH = "write_through"
+WRITE_BACK = "write_back"
+
+#: Coherence protocol names.
+COHERENCE_NONE = "none"          # zero-overhead upper bound (CARVE-No-Coherence)
+COHERENCE_SOFTWARE = "software"  # flush at kernel boundaries (CARVE-SWC)
+COHERENCE_HARDWARE = "hardware"  # GPU-VI + IMST broadcast filter (CARVE-HWC)
+COHERENCE_DIRECTORY = "directory"  # directory-based extension (Section V-E)
+
+_COHERENCE_PROTOCOLS = (
+    COHERENCE_NONE,
+    COHERENCE_SOFTWARE,
+    COHERENCE_HARDWARE,
+    COHERENCE_DIRECTORY,
+)
+
+
+@dataclass(frozen=True)
+class RdcConfig:
+    """Remote Data Cache (the CARVE carve-out) parameters."""
+
+    #: Carve-out per GPU.  The paper's default is 2 GB of 32 GB (6.25%).
+    size_bytes: int = 2 * 2**30
+    write_policy: str = WRITE_THROUGH
+    coherence: str = COHERENCE_HARDWARE
+    #: Width of the per-stream epoch counter used for instant invalidation.
+    epoch_bits: int = 20
+    #: Probability that a local write demotes an IMST entry back to PRIVATE
+    #: (after broadcasting invalidates), so lines do not stay shared forever.
+    imst_demote_prob: float = 0.01
+    #: Enable the miss-map style hit predictor that skips the RDC probe for
+    #: predicted misses (mitigates the RandAccess outlier of Fig. 9).
+    hit_predictor: bool = False
+    hit_predictor_entries: int = 4096
+
+    def validate(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigError("RDC size must be positive")
+        if self.write_policy not in (WRITE_THROUGH, WRITE_BACK):
+            raise ConfigError(f"unknown RDC write policy {self.write_policy!r}")
+        if self.coherence not in _COHERENCE_PROTOCOLS:
+            raise ConfigError(f"unknown coherence protocol {self.coherence!r}")
+        if not 1 <= self.epoch_bits <= 32:
+            raise ConfigError("epoch counter width must be in [1, 32]")
+        if not 0.0 <= self.imst_demote_prob <= 1.0:
+            raise ConfigError("IMST demotion probability must be in [0, 1]")
+
+
+#: Page placement policies.
+PLACEMENT_FIRST_TOUCH = "first_touch"
+PLACEMENT_ROUND_ROBIN = "round_robin"
+PLACEMENT_INTERLEAVED = "interleaved"
+
+#: Software page replication policies.
+REPLICATE_NONE = "none"
+REPLICATE_READ_ONLY = "read_only"  # replicate read-only shared pages
+REPLICATE_ALL = "all"              # ideal NUMA-GPU upper bound
+
+#: CTA scheduling policies.
+SCHEDULE_CONTIGUOUS = "contiguous"   # NUMA-GPU batched scheduling
+SCHEDULE_ROUND_ROBIN = "round_robin"  # locality-oblivious ablation
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete multi-GPU system description (defaults follow Table III)."""
+
+    n_gpus: int = 4
+    page_bytes: int = 2 * 2**20
+    gpu: GpuConfig = field(default_factory=GpuConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    link: LinkConfig = field(default_factory=LinkConfig)
+    #: ``None`` disables CARVE entirely (baseline NUMA-GPU).
+    rdc: Optional[RdcConfig] = None
+    placement: str = PLACEMENT_FIRST_TOUCH
+    replication: str = REPLICATE_NONE
+    #: Enable runtime page migration of remotely accessed private pages.
+    migration: bool = False
+    #: Remote accesses required before a page migrates.
+    migration_threshold: int = 16
+    scheduling: str = SCHEDULE_CONTIGUOUS
+    #: Capacity scale factor (see module docstring).
+    scale: int = DEFAULT_SCALE
+    #: Fixed kernel launch cost (driver overhead), seconds.
+    kernel_launch_overhead_s: float = 4.0e-6
+    #: Chunk size used when interleaving per-GPU access streams.  Small
+    #: chunks approximate the fine-grain concurrency of real GPUs; large
+    #: chunks would let one GPU first-touch far more than its share of
+    #: the shared pages.
+    interleave_chunk: int = 32
+    #: Model the TLB hierarchy on the access path (off by default: it is
+    #: not needed for any paper figure and costs simulation speed).
+    model_tlb: bool = False
+
+    # ------------------------------------------------------------------
+    # Scaled geometry helpers.  All return sizes in *lines* (or scaled
+    # bytes), i.e. the units the simulator actually operates in.
+    # ------------------------------------------------------------------
+
+    def scaled_bytes(self, real_bytes: int) -> int:
+        """Scale a real capacity down, keeping at least one line."""
+        return max(LINE_BYTES, real_bytes // self.scale)
+
+    def lines(self, real_bytes: int) -> int:
+        """Number of cache lines in a scaled-down capacity."""
+        return max(1, self.scaled_bytes(real_bytes) // LINE_BYTES)
+
+    @property
+    def lines_per_page(self) -> int:
+        return self.lines(self.page_bytes)
+
+    @property
+    def l1_lines(self) -> int:
+        return self.lines(self.gpu.l1_bytes)
+
+    @property
+    def l2_lines(self) -> int:
+        return self.lines(self.gpu.l2_bytes)
+
+    @property
+    def rdc_lines(self) -> int:
+        if self.rdc is None:
+            return 0
+        return self.lines(self.rdc.size_bytes)
+
+    @property
+    def memory_lines(self) -> int:
+        return self.lines(self.memory.capacity_bytes)
+
+    @property
+    def has_rdc(self) -> bool:
+        return self.rdc is not None
+
+    @property
+    def total_llc_bytes(self) -> int:
+        """Aggregate (unscaled) LLC capacity across the system."""
+        return self.gpu.l2_bytes * self.n_gpus
+
+    @property
+    def compute_rate_per_gpu(self) -> float:
+        """Peak warp instructions per second for one GPU."""
+        return self.gpu.n_sms * self.gpu.ipc_per_sm * self.gpu.freq_hz
+
+    def validate(self) -> None:
+        if self.n_gpus <= 0:
+            raise ConfigError("system must contain at least one GPU")
+        if self.page_bytes < LINE_BYTES:
+            raise ConfigError("a page must hold at least one line")
+        if self.page_bytes % LINE_BYTES:
+            raise ConfigError("page size must be a multiple of the line size")
+        if self.scale <= 0:
+            raise ConfigError("scale must be positive")
+        if self.placement not in (
+            PLACEMENT_FIRST_TOUCH,
+            PLACEMENT_ROUND_ROBIN,
+            PLACEMENT_INTERLEAVED,
+        ):
+            raise ConfigError(f"unknown placement policy {self.placement!r}")
+        if self.replication not in (
+            REPLICATE_NONE,
+            REPLICATE_READ_ONLY,
+            REPLICATE_ALL,
+        ):
+            raise ConfigError(f"unknown replication policy {self.replication!r}")
+        if self.scheduling not in (SCHEDULE_CONTIGUOUS, SCHEDULE_ROUND_ROBIN):
+            raise ConfigError(f"unknown scheduling policy {self.scheduling!r}")
+        if self.migration_threshold <= 0:
+            raise ConfigError("migration threshold must be positive")
+        if self.interleave_chunk <= 0:
+            raise ConfigError("interleave chunk must be positive")
+        if self.rdc is not None:
+            self.rdc.validate()
+            if self.rdc.size_bytes >= self.memory.capacity_bytes:
+                raise ConfigError("RDC cannot consume the entire GPU memory")
+        self.gpu.validate()
+        self.memory.validate()
+        self.link.validate()
+
+    # ------------------------------------------------------------------
+    # Convenience constructors used throughout the experiments.
+    # ------------------------------------------------------------------
+
+    def replace(self, **changes) -> "SystemConfig":
+        """Return a copy with the given fields replaced (validated)."""
+        cfg = dataclasses.replace(self, **changes)
+        cfg.validate()
+        return cfg
+
+    def with_rdc(self, size_bytes: int = 2 * 2**30, **rdc_changes) -> "SystemConfig":
+        """Return a copy of this config with CARVE enabled."""
+        rdc = RdcConfig(size_bytes=size_bytes, **rdc_changes)
+        return self.replace(rdc=rdc)
+
+    def single_gpu(self) -> "SystemConfig":
+        """The single-GPU reference system used as the speedup baseline."""
+        return self.replace(n_gpus=1, rdc=None, replication=REPLICATE_NONE,
+                            migration=False)
+
+
+def baseline_config(**changes) -> SystemConfig:
+    """The Table III baseline NUMA-GPU system (no CARVE)."""
+    cfg = SystemConfig().replace(**changes) if changes else SystemConfig()
+    cfg.validate()
+    return cfg
+
+
+def carve_config(
+    rdc_bytes: int = 2 * 2**30,
+    coherence: str = COHERENCE_HARDWARE,
+    write_policy: str = WRITE_THROUGH,
+    **changes,
+) -> SystemConfig:
+    """The Table III system with CARVE enabled (default: CARVE-HWC, 2 GB)."""
+    cfg = baseline_config(**changes)
+    return cfg.with_rdc(rdc_bytes, coherence=coherence, write_policy=write_policy)

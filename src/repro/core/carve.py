@@ -1,0 +1,103 @@
+"""CARVE memory-controller integration (Section IV-A).
+
+One :class:`CarveController` sits in front of each GPU's local memory.  On
+an LLC miss to a *remote* address, the controller probes its Remote Data
+Cache; hits are serviced from local memory, misses are forwarded to the
+home node and the returned line is installed for future hits.  An
+optional hit predictor skips the probe when a miss is likely, removing
+the serialised local-DRAM latency from the miss path.
+
+The controller reports what happened via :class:`RemoteAccessOutcome` so
+the system model can charge the right DRAM/link traffic and latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import WRITE_BACK, RdcConfig
+from repro.core.hit_predictor import RdcHitPredictor
+from repro.core.rdc import RemoteDataCache
+
+#: Outcome kinds for a remote read.
+RDC_HIT = "rdc_hit"
+RDC_MISS = "rdc_miss"
+RDC_BYPASS = "rdc_bypass"  # predictor skipped the probe
+
+
+@dataclass
+class RemoteAccessOutcome:
+    """What the CARVE controller did for one remote read."""
+
+    __slots__ = ("kind", "probed", "filled")
+
+    kind: str
+    #: Whether a local DRAM access (the Alloy tag+data read) happened.
+    probed: bool
+    #: Whether the line was installed in the RDC (a local DRAM write).
+    filled: bool
+
+
+class CarveController:
+    """Per-GPU RDC + predictor front-end for remote memory accesses."""
+
+    def __init__(self, gpu_id: int, n_lines: int, config: RdcConfig) -> None:
+        self.gpu_id = gpu_id
+        self.config = config
+        self.rdc = RemoteDataCache(
+            n_lines, write_policy=config.write_policy, epoch_bits=config.epoch_bits
+        )
+        self.predictor: Optional[RdcHitPredictor] = (
+            RdcHitPredictor(config.hit_predictor_entries)
+            if config.hit_predictor
+            else None
+        )
+
+    # -- read path ----------------------------------------------------------
+
+    def remote_read(self, line: int, stream: int = 0) -> RemoteAccessOutcome:
+        """Handle an LLC-missing read to a remote line."""
+        if self.predictor is not None:
+            predicted_hit = self.predictor.predict_hit(line)
+            if not predicted_hit:
+                # Skip the probe; fetch remotely and install.  Peek (with
+                # no stat side effects) to train the predictor honestly.
+                was_resident = self.rdc.contains(line, stream)
+                self.predictor.train(line, was_resident, predicted_hit=False)
+                self.rdc.insert(line, stream)
+                return RemoteAccessOutcome(RDC_BYPASS, probed=False, filled=True)
+            hit = self.rdc.probe(line, stream)
+            self.predictor.train(line, hit, predicted_hit=True)
+        else:
+            hit = self.rdc.probe(line, stream)
+        if hit:
+            return RemoteAccessOutcome(RDC_HIT, probed=True, filled=False)
+        self.rdc.insert(line, stream)
+        return RemoteAccessOutcome(RDC_MISS, probed=True, filled=True)
+
+    # -- write path ----------------------------------------------------------
+
+    def remote_write(self, line: int, stream: int = 0) -> bool:
+        """Handle a write to a remote line; True if an RDC copy was updated.
+
+        Write-through: the copy is refreshed locally and the store is
+        propagated to the home node by the caller regardless.  Write-back:
+        the copy is dirtied and the home write is deferred (the caller
+        must then *not* forward the store).
+        """
+        return self.rdc.write(line, stream)
+
+    @property
+    def defers_home_writes(self) -> bool:
+        return self.config.write_policy == WRITE_BACK
+
+    # -- coherence hooks ------------------------------------------------------
+
+    def invalidate(self, line: int) -> bool:
+        """Peer-initiated invalidation of one line."""
+        return self.rdc.invalidate_line(line)
+
+    def kernel_boundary(self, stream: int = 0) -> int:
+        """Epoch-advance invalidation; returns dirty lines flushed home."""
+        return self.rdc.kernel_boundary_flush(stream)

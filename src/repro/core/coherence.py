@@ -1,0 +1,175 @@
+"""Coherence protocols for the Remote Data Cache (Section IV-B).
+
+Every GPU that caches remote data holds a copy that can go stale when the
+home copy is written.  Four protocols are modelled:
+
+* **none** — zero-overhead coherence.  Stale reads are permitted; this is
+  the CARVE-No-Coherence *upper bound* of Fig. 9, used to isolate the
+  bandwidth benefit from the coherence cost.
+* **software** — the conventional GPU contract: caches of remote data are
+  flushed at kernel boundaries (CARVE-SWC).  With epoch counters and a
+  write-through RDC the flush itself is free, but all inter-kernel
+  locality in the RDC is lost (Fig. 11).
+* **hardware** — GPU-VI write-invalidate filtered through the IMST
+  (CARVE-HWC): stores to lines the IMST marks as shared broadcast
+  invalidates to all peers; private lines stay silent.
+* **directory** — Section V-E extension for larger node counts: the home
+  node tracks the sharer set per line and sends *targeted* invalidates,
+  trading directory state for broadcast traffic.
+
+The protocol object decides *who must be invalidated*; the system model
+performs the invalidations and charges the link traffic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import (
+    COHERENCE_DIRECTORY,
+    COHERENCE_HARDWARE,
+    COHERENCE_NONE,
+    COHERENCE_SOFTWARE,
+    RdcConfig,
+)
+from repro.core.imst import InMemorySharingTracker
+
+
+class CoherenceProtocol(ABC):
+    """Decides invalidation targets and kernel-boundary behaviour."""
+
+    name: str = "abstract"
+
+    #: Whether the RDC must be (epoch-)invalidated at kernel boundaries.
+    flush_rdc_at_kernel_boundary: bool = False
+
+    def __init__(self, n_gpus: int) -> None:
+        if n_gpus <= 0:
+            raise ValueError("n_gpus must be positive")
+        self.n_gpus = n_gpus
+
+    def note_remote_read(self, home: int, reader: int, line: int) -> None:
+        """Observe a remote read arriving at *home* (default: ignore)."""
+
+    @abstractmethod
+    def invalidation_targets(
+        self, home: int, writer: int, line: int
+    ) -> Optional[list[int]]:
+        """GPUs whose cached copies of *line* must be invalidated.
+
+        ``None`` means no invalidation message is needed at all.  The
+        writer is never a target.
+        """
+
+    def note_invalidated(self, home: int, line: int) -> None:
+        """Observe that *line*'s remote copies were just invalidated."""
+
+
+class NoCoherence(CoherenceProtocol):
+    """Zero-overhead upper bound: never invalidate, never flush."""
+
+    name = COHERENCE_NONE
+    flush_rdc_at_kernel_boundary = False
+
+    def invalidation_targets(self, home, writer, line):
+        return None
+
+
+class SoftwareCoherence(CoherenceProtocol):
+    """Kernel-boundary flush contract: no in-kernel invalidations."""
+
+    name = COHERENCE_SOFTWARE
+    flush_rdc_at_kernel_boundary = True
+
+    def invalidation_targets(self, home, writer, line):
+        return None
+
+
+class HardwareCoherence(CoherenceProtocol):
+    """GPU-VI write-invalidate, filtered by a per-home-node IMST."""
+
+    name = COHERENCE_HARDWARE
+    flush_rdc_at_kernel_boundary = False
+
+    def __init__(self, n_gpus: int, config: RdcConfig) -> None:
+        super().__init__(n_gpus)
+        self.imst = [
+            InMemorySharingTracker(
+                demote_prob=config.imst_demote_prob, seed=0xC0FFEE + g
+            )
+            for g in range(n_gpus)
+        ]
+
+    def note_remote_read(self, home: int, reader: int, line: int) -> None:
+        self.imst[home].on_read(line, reader)
+
+    def invalidation_targets(self, home, writer, line):
+        needs_broadcast = self.imst[home].on_write(
+            line, writer, is_local=(writer == home)
+        )
+        if not needs_broadcast:
+            return None
+        return [g for g in range(self.n_gpus) if g != writer]
+
+
+@dataclass
+class DirectoryStats:
+    lookups: int = 0
+    targeted_invalidates: int = 0
+    entries_peak: int = 0
+
+
+class DirectoryCoherence(CoherenceProtocol):
+    """Sharer-set directory at each home node (targeted invalidates)."""
+
+    name = COHERENCE_DIRECTORY
+    flush_rdc_at_kernel_boundary = False
+
+    def __init__(self, n_gpus: int) -> None:
+        super().__init__(n_gpus)
+        # One sharer-set map per home node: line -> set of caching GPUs.
+        self._sharers: list[dict[int, set[int]]] = [{} for _ in range(n_gpus)]
+        self.stats = DirectoryStats()
+
+    def note_remote_read(self, home: int, reader: int, line: int) -> None:
+        sharers = self._sharers[home].setdefault(line, set())
+        sharers.add(reader)
+        n = len(self._sharers[home])
+        if n > self.stats.entries_peak:
+            self.stats.entries_peak = n
+
+    def invalidation_targets(self, home, writer, line):
+        self.stats.lookups += 1
+        sharers = self._sharers[home].get(line)
+        if not sharers:
+            return None
+        targets = sorted(g for g in sharers if g != writer)
+        if not targets:
+            return None
+        self.stats.targeted_invalidates += len(targets)
+        return targets
+
+    def note_invalidated(self, home: int, line: int) -> None:
+        self._sharers[home].pop(line, None)
+
+    def directory_entries(self, home: int) -> int:
+        return len(self._sharers[home])
+
+
+def make_protocol(
+    name: str, n_gpus: int, config: Optional[RdcConfig] = None
+) -> CoherenceProtocol:
+    """Factory mapping a config string to a protocol instance."""
+    if name == COHERENCE_NONE:
+        return NoCoherence(n_gpus)
+    if name == COHERENCE_SOFTWARE:
+        return SoftwareCoherence(n_gpus)
+    if name == COHERENCE_HARDWARE:
+        if config is None:
+            raise ValueError("hardware coherence requires an RdcConfig")
+        return HardwareCoherence(n_gpus, config)
+    if name == COHERENCE_DIRECTORY:
+        return DirectoryCoherence(n_gpus)
+    raise ValueError(f"unknown coherence protocol {name!r}")

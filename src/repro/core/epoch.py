@@ -1,0 +1,54 @@
+"""Epoch-counter based RDC invalidation (Section IV-B, Fig. 10).
+
+Physically invalidating a giga-scale RDC means reading and rewriting
+gigabytes of in-memory tags (Table IV: ~2 ms), so CARVE instead stores the
+*epoch* a line was installed in next to its tag.  A hit requires the
+stored epoch to equal the current per-stream Epoch Counter (EPCTR); a
+kernel boundary simply increments the EPCTR, invalidating every stale line
+in O(1).  On the rare counter rollover the RDC is physically reset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EpochCounters:
+    """Per-stream 20-bit (configurable) epoch counters for one GPU."""
+
+    bits: int = 20
+    counters: dict[int, int] = field(default_factory=dict)
+    rollovers: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 32:
+            raise ValueError("epoch counter width must be in [1, 32]")
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.bits) - 1
+
+    def current(self, stream: int = 0) -> int:
+        """EPCTR value of *stream* (streams start at epoch 0)."""
+        return self.counters.get(stream, 0)
+
+    def advance(self, stream: int = 0) -> bool:
+        """Increment a stream's EPCTR (kernel boundary).
+
+        Returns True if the counter rolled over, in which case the caller
+        must physically reset the RDC (all stored epochs become invalid
+        *except* those equal to the fresh counter value, so a reset is the
+        only correct response).
+        """
+        value = self.counters.get(stream, 0) + 1
+        if value > self.max_value:
+            self.counters[stream] = 0
+            self.rollovers += 1
+            return True
+        self.counters[stream] = value
+        return False
+
+    def is_current(self, stored_epoch: int, stream: int = 0) -> bool:
+        """Whether a line installed at *stored_epoch* is still valid."""
+        return stored_epoch == self.current(stream)

@@ -1,0 +1,136 @@
+"""In-Memory Sharing Tracker (IMST) — Section IV-B, Fig. 12.
+
+GPU-VI broadcasts a write-invalidate on *every* store, which would swamp
+the links.  Invalidates are only needed for lines that some other GPU may
+be caching, so CARVE-HWC keeps a 2-bit sharing state per cache line in the
+spare ECC bits at the line's *home node*:
+
+    UNCACHED -> PRIVATE -> READ_SHARED -> RW_SHARED
+
+The IMST tracks *global history* beyond cache residency (unlike MESI's
+instantaneous states), so a line could remain shared forever; a local
+write therefore probabilistically (default 1%) demotes the line back to
+PRIVATE after broadcasting invalidates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+# 2-bit IMST states.
+UNCACHED = 0
+PRIVATE = 1
+READ_SHARED = 2
+RW_SHARED = 3
+
+STATE_NAMES = {
+    UNCACHED: "uncached",
+    PRIVATE: "private",
+    READ_SHARED: "read_shared",
+    RW_SHARED: "rw_shared",
+}
+
+
+@dataclass
+class ImstStats:
+    reads: int = 0
+    writes: int = 0
+    broadcasts: int = 0
+    broadcasts_avoided: int = 0
+    demotions: int = 0
+
+    @property
+    def broadcast_rate(self) -> float:
+        return self.broadcasts / self.writes if self.writes else 0.0
+
+
+class InMemorySharingTracker:
+    """Sharing state per line at one home node.
+
+    State is stored sparsely: untouched lines are implicitly UNCACHED.
+    Alongside the 2-bit state we track the private owner so that an
+    owner's own writes need no broadcast (consistent with Fig. 12's
+    private state meaning "cached by exactly one GPU").
+    """
+
+    def __init__(self, demote_prob: float = 0.01, seed: int = 0xC0FFEE) -> None:
+        if not 0.0 <= demote_prob <= 1.0:
+            raise ValueError("demotion probability must be in [0, 1]")
+        self.demote_prob = demote_prob
+        self._state: dict[int, int] = {}
+        self._owner: dict[int, int] = {}
+        self._rng = random.Random(seed)
+        self.stats = ImstStats()
+
+    def state_of(self, line: int) -> int:
+        return self._state.get(line, UNCACHED)
+
+    def owner_of(self, line: int) -> int:
+        """Private owner of *line* (-1 when not in PRIVATE state)."""
+        if self.state_of(line) == PRIVATE:
+            return self._owner.get(line, -1)
+        return -1
+
+    # -- transitions performed by the home memory controller ---------------
+
+    def on_read(self, line: int, reader: int) -> int:
+        """Record a read by *reader*; returns the resulting state."""
+        self.stats.reads += 1
+        state = self._state.get(line, UNCACHED)
+        if state == UNCACHED:
+            self._state[line] = PRIVATE
+            self._owner[line] = reader
+            return PRIVATE
+        if state == PRIVATE and self._owner.get(line) != reader:
+            self._state[line] = READ_SHARED
+            return READ_SHARED
+        return state
+
+    def on_write(self, line: int, writer: int, is_local: bool) -> bool:
+        """Record a write; returns True if an invalidate broadcast is needed.
+
+        A broadcast is required whenever the line may be cached by another
+        GPU (READ_SHARED, RW_SHARED, or PRIVATE to a different owner).
+        Local writes may then probabilistically demote the line to PRIVATE
+        so that hot, re-privatised data stops broadcasting.
+        """
+        self.stats.writes += 1
+        state = self._state.get(line, UNCACHED)
+        needs_broadcast: bool
+        if state == UNCACHED:
+            self._state[line] = PRIVATE
+            self._owner[line] = writer
+            needs_broadcast = False
+        elif state == PRIVATE:
+            if self._owner.get(line) == writer:
+                needs_broadcast = False
+            else:
+                self._state[line] = RW_SHARED
+                needs_broadcast = True
+        elif state == READ_SHARED:
+            self._state[line] = RW_SHARED
+            needs_broadcast = True
+        else:  # RW_SHARED
+            needs_broadcast = True
+        if needs_broadcast:
+            self.stats.broadcasts += 1
+            if is_local and self._rng.random() < self.demote_prob:
+                self._state[line] = PRIVATE
+                self._owner[line] = writer
+                self.stats.demotions += 1
+        else:
+            self.stats.broadcasts_avoided += 1
+        return needs_broadcast
+
+    # -- diagnostics --------------------------------------------------------
+
+    def histogram(self) -> dict[str, int]:
+        hist = {name: 0 for name in STATE_NAMES.values()}
+        for state in self._state.values():
+            hist[STATE_NAMES[state]] += 1
+        return hist
+
+    def storage_bits(self) -> int:
+        """ECC bits consumed: 2 bits per tracked line."""
+        return 2 * len(self._state)

@@ -1,0 +1,185 @@
+"""The Remote Data Cache (RDC): an Alloy-style DRAM cache in video memory.
+
+CARVE statically carves a region of local GPU memory and organises it as a
+direct-mapped, tags-with-data cache of *remote* lines (Fig. 6/7).  One
+DRAM access retrieves tag+data together (the tag lives in spare ECC bits),
+so a probe costs exactly one local-memory access whether it hits or
+misses, and an insert costs one local-memory write.
+
+Sets are interleaved across all memory channels (``set % n_channels``),
+which the DRAM model sees because RDC accesses are issued to it like any
+other local access.
+
+The RDC supports both write policies discussed in Section IV-B:
+
+* ``write_through`` (the paper's choice): dirty data propagates to the
+  home node immediately; a kernel-boundary flush is free.
+* ``write_back``: lines dirty locally; a *dirty-map* of written regions
+  bounds the kernel-boundary flush to regions actually written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import WRITE_BACK, WRITE_THROUGH
+from repro.core.epoch import EpochCounters
+
+
+@dataclass
+class RdcStats:
+    probes: int = 0
+    hits: int = 0
+    stale_epoch_misses: int = 0
+    inserts: int = 0
+    writes: int = 0
+    physical_resets: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.probes - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+
+#: Region granularity of the write-back dirty-map, in lines.
+DIRTY_MAP_REGION_LINES = 64
+
+
+class RemoteDataCache:
+    """Direct-mapped tags-with-data cache over line numbers."""
+
+    def __init__(
+        self,
+        n_lines: int,
+        write_policy: str = WRITE_THROUGH,
+        epoch_bits: int = 20,
+    ) -> None:
+        if n_lines <= 0:
+            raise ValueError("RDC must have a positive line count")
+        if write_policy not in (WRITE_THROUGH, WRITE_BACK):
+            raise ValueError(f"unknown write policy {write_policy!r}")
+        self.n_sets = n_lines
+        self.write_policy = write_policy
+        # Tag arrays: tag == -1 means the set is empty.
+        self._tags = np.full(n_lines, -1, dtype=np.int64)
+        self._epochs = np.zeros(n_lines, dtype=np.int32)
+        self._dirty = np.zeros(n_lines, dtype=bool)
+        self.epochs = EpochCounters(bits=epoch_bits)
+        self.stats = RdcStats()
+        # Write-back dirty map: region ids that have been written.
+        self._dirty_regions: set[int] = set()
+
+    # -- geometry ---------------------------------------------------------
+
+    def set_of(self, line: int) -> int:
+        return line % self.n_sets
+
+    # -- cache operations ---------------------------------------------------
+
+    def probe(self, line: int, stream: int = 0) -> bool:
+        """One Alloy access: read tag+data, hit iff tag and epoch match."""
+        s = line % self.n_sets
+        self.stats.probes += 1
+        if self._tags[s] == line:
+            if self.epochs.is_current(int(self._epochs[s]), stream):
+                self.stats.hits += 1
+                return True
+            self.stats.stale_epoch_misses += 1
+        return False
+
+    def contains(self, line: int, stream: int = 0) -> bool:
+        """Side-effect-free presence check (no counters)."""
+        s = line % self.n_sets
+        return bool(
+            self._tags[s] == line
+            and self.epochs.is_current(int(self._epochs[s]), stream)
+        )
+
+    def insert(self, line: int, stream: int = 0, dirty: bool = False) -> None:
+        """Install *line*, displacing whatever occupied its set."""
+        s = line % self.n_sets
+        self._tags[s] = line
+        self._epochs[s] = self.epochs.current(stream)
+        self._dirty[s] = dirty
+        self.stats.inserts += 1
+        if dirty:
+            self._note_write(line)
+
+    def write(self, line: int, stream: int = 0) -> bool:
+        """Update a resident copy of *line*; returns True if it was present.
+
+        Under write-through the copy stays clean (data also goes to the
+        home); under write-back it becomes dirty and its region is marked
+        in the dirty-map.
+        """
+        s = line % self.n_sets
+        if self._tags[s] != line or not self.epochs.is_current(
+            int(self._epochs[s]), stream
+        ):
+            return False
+        self.stats.writes += 1
+        if self.write_policy == WRITE_BACK:
+            self._dirty[s] = True
+            self._note_write(line)
+        return True
+
+    def invalidate_line(self, line: int) -> bool:
+        """Coherence invalidation of one line; True if it was resident."""
+        s = line % self.n_sets
+        if self._tags[s] == line:
+            self._tags[s] = -1
+            self._dirty[s] = False
+            return True
+        return False
+
+    # -- kernel-boundary machinery -----------------------------------------
+
+    def _note_write(self, line: int) -> None:
+        self._dirty_regions.add(line // DIRTY_MAP_REGION_LINES)
+
+    def kernel_boundary_flush(self, stream: int = 0) -> int:
+        """Software-coherence boundary: advance the epoch; flush dirty data.
+
+        Returns the number of dirty lines written back to their home nodes
+        (zero for a write-through RDC).  A counter rollover forces a
+        physical reset of the tag store.
+        """
+        flushed = 0
+        if self.write_policy == WRITE_BACK:
+            flushed = int(self._dirty.sum())
+            self._dirty[:] = False
+            self._dirty_regions.clear()
+        rolled = self.epochs.advance(stream)
+        if rolled:
+            self.physical_reset()
+        return flushed
+
+    def dirty_lines(self) -> list[int]:
+        """Resident dirty lines (write-back flush targets via dirty-map)."""
+        idx = np.nonzero(self._dirty)[0]
+        return [int(self._tags[i]) for i in idx if self._tags[i] >= 0]
+
+    def dirty_map_regions(self) -> int:
+        """How many dirty-map regions would be scanned at a flush."""
+        return len(self._dirty_regions)
+
+    def physical_reset(self) -> None:
+        """Full tag-store reset (epoch rollover path)."""
+        self._tags[:] = -1
+        self._epochs[:] = 0
+        self._dirty[:] = False
+        self._dirty_regions.clear()
+        self.stats.physical_resets += 1
+
+    # -- introspection ------------------------------------------------------
+
+    def occupancy(self, stream: int = 0) -> float:
+        """Fraction of sets holding a currently valid line."""
+        valid = self._tags >= 0
+        current = self._epochs == self.epochs.current(stream)
+        return float(np.count_nonzero(valid & current)) / self.n_sets

@@ -1,0 +1,107 @@
+"""Kernel and CTA (Cooperative Thread Array) abstractions.
+
+A workload is a sequence of kernels.  Each kernel launches a grid of CTAs;
+each CTA issues a stream of line-granularity memory accesses.  Traces are
+held as NumPy arrays in CTA-program order, and the scheduler decides which
+GPU executes which CTA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass
+class KernelTrace:
+    """The memory trace of one kernel launch.
+
+    Arrays are parallel and ordered by issue within each CTA; accesses of
+    different CTAs may be freely interleaved by the execution model.
+    """
+
+    kernel_id: int
+    n_ctas: int
+    #: CTA issuing each access.
+    cta_ids: np.ndarray
+    #: Global line number of each access.
+    lines: np.ndarray
+    #: Write flag of each access.
+    is_write: np.ndarray
+    #: Average warp instructions executed per memory access (compute
+    #: intensity; higher means more compute-bound).
+    instr_per_access: float = 10.0
+    #: Outstanding memory requests per SM this kernel can sustain (memory
+    #: level parallelism; low values make the kernel latency-sensitive).
+    concurrency_per_sm: float = 32.0
+    #: Stream the kernel was launched on (for per-stream epoch counters).
+    stream: int = 0
+    #: Warmup kernels are executed (they warm caches, map pages, train
+    #: predictors) but excluded from reported statistics and timing, the
+    #: usual architecture-simulation practice for short traces.
+    warmup: bool = False
+
+    def __post_init__(self) -> None:
+        self.cta_ids = np.asarray(self.cta_ids, dtype=np.int32)
+        self.lines = np.asarray(self.lines, dtype=np.int64)
+        self.is_write = np.asarray(self.is_write, dtype=bool)
+        n = len(self.lines)
+        if len(self.cta_ids) != n or len(self.is_write) != n:
+            raise ValueError("kernel trace arrays must have equal length")
+        if self.n_ctas <= 0:
+            raise ValueError("kernel must launch at least one CTA")
+        if n and int(self.cta_ids.max()) >= self.n_ctas:
+            raise ValueError("cta_ids reference CTAs beyond the grid")
+        if self.instr_per_access <= 0:
+            raise ValueError("instr_per_access must be positive")
+        if self.concurrency_per_sm <= 0:
+            raise ValueError("concurrency_per_sm must be positive")
+
+    @property
+    def n_accesses(self) -> int:
+        return len(self.lines)
+
+    @property
+    def n_writes(self) -> int:
+        return int(self.is_write.sum())
+
+    @property
+    def total_instructions(self) -> float:
+        return self.n_accesses * self.instr_per_access
+
+    def footprint_lines(self) -> int:
+        """Number of distinct lines the kernel touches."""
+        if not self.n_accesses:
+            return 0
+        return len(np.unique(self.lines))
+
+
+@dataclass
+class WorkloadTrace:
+    """A full application: an ordered sequence of kernel launches."""
+
+    name: str
+    kernels: list[KernelTrace] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ValueError(f"workload {self.name!r} has no kernels")
+
+    @property
+    def n_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def n_accesses(self) -> int:
+        return sum(k.n_accesses for k in self.kernels)
+
+    def footprint_lines(self) -> int:
+        if not self.kernels:
+            return 0
+        all_lines = np.concatenate([k.lines for k in self.kernels])
+        return len(np.unique(all_lines))
+
+    def __iter__(self) -> Iterable[KernelTrace]:
+        return iter(self.kernels)

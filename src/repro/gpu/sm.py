@@ -1,0 +1,54 @@
+"""Streaming Multiprocessor compute model.
+
+The paper simulates 64 SMs per GPU, 64 warps each, with a warp scheduler
+issuing one warp instruction per SM per cycle.  For a trace-driven memory
+study the compute side only needs to set the compute roofline and the
+latency-hiding capacity, so the model is aggregate:
+
+* peak throughput = ``n_sms * ipc_per_sm * freq_hz`` warp instr/s;
+* latency hiding  = the number of outstanding memory requests the GPU can
+  sustain, capped by warp occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GpuConfig
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Converts instruction counts into execution time for one GPU."""
+
+    config: GpuConfig
+
+    @property
+    def peak_instr_per_s(self) -> float:
+        c = self.config
+        return c.n_sms * c.ipc_per_sm * c.freq_hz
+
+    def compute_time_s(self, warp_instructions: float) -> float:
+        """Time to execute *warp_instructions* at peak issue rate."""
+        if warp_instructions < 0:
+            raise ValueError("instruction count cannot be negative")
+        return warp_instructions / self.peak_instr_per_s
+
+    def concurrency(self, per_sm_requests: float) -> float:
+        """Outstanding memory requests the GPU sustains for a kernel.
+
+        *per_sm_requests* is the kernel's memory-level parallelism per SM,
+        bounded above by one request per resident warp.
+        """
+        if per_sm_requests <= 0:
+            raise ValueError("per-SM concurrency must be positive")
+        per_sm = min(per_sm_requests, float(self.config.warps_per_sm))
+        return per_sm * self.config.n_sms
+
+    def occupancy(self, warps_per_cta: int, ctas_resident: int) -> float:
+        """Fraction of warp slots filled (diagnostic, not on the hot path)."""
+        if warps_per_cta <= 0 or ctas_resident < 0:
+            raise ValueError("occupancy inputs must be non-negative/positive")
+        resident = warps_per_cta * ctas_resident
+        capacity = self.config.n_sms * self.config.warps_per_sm
+        return min(1.0, resident / capacity)

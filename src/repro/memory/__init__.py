@@ -1,0 +1,1 @@
+"""memory subpackage of the CARVE reproduction."""

@@ -1,0 +1,73 @@
+"""Address arithmetic helpers.
+
+The simulator's native address unit is the *line number*: a line-granularity
+index into a flat global address space.  Pages are contiguous runs of
+``lines_per_page`` lines; DRAM channels and rows are derived from the line
+number with the minimalist interleaving the paper's baseline uses (line
+granularity channel interleave, row-sized locality within a channel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import LINE_BYTES
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Derives page/channel/row coordinates from a line number."""
+
+    lines_per_page: int
+    n_channels: int
+    row_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.lines_per_page <= 0:
+            raise ValueError("lines_per_page must be positive")
+        if self.n_channels <= 0:
+            raise ValueError("n_channels must be positive")
+        if self.row_bytes < LINE_BYTES:
+            raise ValueError("row must hold at least one line")
+
+    @property
+    def lines_per_row(self) -> int:
+        return max(1, self.row_bytes // LINE_BYTES)
+
+    def page_of(self, line: int) -> int:
+        """Page number containing *line*."""
+        return line // self.lines_per_page
+
+    def first_line_of_page(self, page: int) -> int:
+        return page * self.lines_per_page
+
+    def line_offset_in_page(self, line: int) -> int:
+        return line % self.lines_per_page
+
+    def channel_of(self, line: int) -> int:
+        """Memory channel servicing *line* (line-granularity interleave)."""
+        return line % self.n_channels
+
+    def row_of(self, line: int) -> int:
+        """DRAM row coordinate of *line* within its channel.
+
+        Consecutive lines on the same channel (i.e. lines ``n_channels``
+        apart) fall in the same row until ``lines_per_row`` lines have been
+        consumed, mirroring a minimalist open-page address mapping.
+        """
+        return (line // self.n_channels) // self.lines_per_row
+
+    def lines_of_page(self, page: int) -> range:
+        start = self.first_line_of_page(page)
+        return range(start, start + self.lines_per_page)
+
+
+def bytes_to_lines(n_bytes: int) -> int:
+    """Number of whole lines covering *n_bytes* (at least one)."""
+    if n_bytes <= 0:
+        return 0
+    return max(1, (n_bytes + LINE_BYTES - 1) // LINE_BYTES)
+
+
+def lines_to_bytes(n_lines: int) -> int:
+    return n_lines * LINE_BYTES

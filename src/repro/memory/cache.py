@@ -1,0 +1,183 @@
+"""Set-associative caches used for the GPU L1 and L2/LLC.
+
+These are functional (hit/miss) models with true LRU replacement.  They know
+nothing about timing; the performance model converts the traffic they emit
+into time.  Lines are tagged with arbitrary metadata (``remote`` flags,
+dirty bits) that the NUMA machinery needs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass
+class CacheLineState:
+    """Metadata carried by a resident cache line."""
+
+    __slots__ = ("dirty", "remote")
+
+    dirty: bool
+    remote: bool
+
+
+@dataclass
+class EvictedLine:
+    """Returned when an insertion displaces a resident line."""
+
+    __slots__ = ("line", "dirty", "remote")
+
+    line: int
+    dirty: bool
+    remote: bool
+
+
+class SetAssociativeCache:
+    """A classic set-associative, true-LRU cache over line numbers.
+
+    The cache is sized in *lines*; ``n_lines`` must be a multiple of
+    ``ways`` (the set count is derived).  When ``n_lines < ways`` the cache
+    degenerates to a single fully-associative set, which keeps heavily
+    scaled-down configurations functional.
+    """
+
+    def __init__(self, n_lines: int, ways: int, name: str = "cache") -> None:
+        if n_lines <= 0:
+            raise ValueError("cache must have a positive line count")
+        if ways <= 0:
+            raise ValueError("cache must have positive associativity")
+        if n_lines < ways:
+            ways = n_lines
+        if n_lines % ways:
+            raise ValueError(
+                f"{name}: line count {n_lines} not divisible by {ways} ways"
+            )
+        self.name = name
+        self.n_lines = n_lines
+        self.ways = ways
+        self.n_sets = n_lines // ways
+        # One OrderedDict per set: line -> CacheLineState, LRU at the front.
+        self._sets: list[OrderedDict[int, CacheLineState]] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    # -- basic operations ------------------------------------------------
+
+    def _set_of(self, line: int) -> OrderedDict[int, CacheLineState]:
+        return self._sets[line % self.n_sets]
+
+    def lookup(self, line: int, update_lru: bool = True) -> bool:
+        """Probe for *line*; updates hit/miss counters and recency."""
+        s = self._set_of(line)
+        if line in s:
+            self.hits += 1
+            if update_lru:
+                s.move_to_end(line)
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Presence check with no side effects (no counters, no LRU)."""
+        return line in self._set_of(line)
+
+    def insert(
+        self, line: int, dirty: bool = False, remote: bool = False
+    ) -> Optional[EvictedLine]:
+        """Install *line*, returning the victim if one was displaced.
+
+        Re-inserting a resident line refreshes its recency and ORs the
+        dirty bit (a write hit never cleans a line).
+        """
+        s = self._set_of(line)
+        state = s.get(line)
+        if state is not None:
+            state.dirty = state.dirty or dirty
+            state.remote = remote
+            s.move_to_end(line)
+            return None
+        victim = None
+        if len(s) >= self.ways:
+            vline, vstate = s.popitem(last=False)
+            victim = EvictedLine(vline, vstate.dirty, vstate.remote)
+        s[line] = CacheLineState(dirty=dirty, remote=remote)
+        return victim
+
+    def mark_dirty(self, line: int) -> bool:
+        """Set the dirty bit of a resident line; True if it was present."""
+        s = self._set_of(line)
+        state = s.get(line)
+        if state is None:
+            return False
+        state.dirty = True
+        s.move_to_end(line)
+        return True
+
+    def invalidate_line(self, line: int) -> Optional[EvictedLine]:
+        """Remove one line (coherence invalidation); returns its state."""
+        s = self._set_of(line)
+        state = s.pop(line, None)
+        if state is None:
+            return None
+        return EvictedLine(line, state.dirty, state.remote)
+
+    # -- bulk operations (software coherence) -----------------------------
+
+    def invalidate_all(self) -> list[EvictedLine]:
+        """Drop every line, returning the dirty ones (they need a flush)."""
+        dirty = [
+            EvictedLine(line, st.dirty, st.remote)
+            for s in self._sets
+            for line, st in s.items()
+            if st.dirty
+        ]
+        for s in self._sets:
+            s.clear()
+        return dirty
+
+    def invalidate_remote(self) -> int:
+        """Drop only remotely homed lines; returns how many were dropped.
+
+        This models the NUMA-GPU software-coherence rule that remote data
+        cached in the LLC must not survive a kernel boundary, while local
+        (memory-side, implicitly coherent) lines may.
+        """
+        dropped = 0
+        for s in self._sets:
+            stale = [line for line, st in s.items() if st.remote]
+            for line in stale:
+                del s[line]
+            dropped += len(stale)
+        return dropped
+
+    def flush_dirty(self) -> list[EvictedLine]:
+        """Clean every dirty line, returning them (for writeback traffic)."""
+        flushed = []
+        for s in self._sets:
+            for line, st in s.items():
+                if st.dirty:
+                    flushed.append(EvictedLine(line, True, st.remote))
+                    st.dirty = False
+        return flushed
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __iter__(self) -> Iterator[int]:
+        for s in self._sets:
+            yield from s
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0

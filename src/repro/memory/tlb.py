@@ -1,0 +1,93 @@
+"""TLB hierarchy model.
+
+The baseline GPU (Table III / Section III) has per-SM L1 TLBs and a shared
+L2 TLB, and relies on 2 MB pages for coverage.  TLB behaviour motivates the
+paper's large-page assumption (footnote 1: shrinking pages to avoid false
+sharing would wreck TLB coverage), so we model it to expose that trade-off:
+the :mod:`repro.analysis` ablations compare page sizes by TLB reach.
+
+As with the L1 data cache, per-SM L1 TLBs are modelled as one aggregate
+structure per GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.cache import SetAssociativeCache
+
+
+@dataclass
+class TlbStats:
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+
+    @property
+    def walks(self) -> int:
+        """Page-table walks (misses in both levels)."""
+        return self.l2_misses
+
+    @property
+    def l1_hit_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_hits / total if total else 0.0
+
+    @property
+    def overall_hit_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        if not total:
+            return 0.0
+        return (self.l1_hits + self.l2_hits) / total
+
+
+class TlbHierarchy:
+    """Two-level TLB over page numbers.
+
+    Default geometry: 64-entry aggregate L1 (fully assoc.), 1024-entry
+    8-way L2, which at 2 MB pages covers 2 GB — ample for most of Table
+    II's footprints, and the reason the paper keeps large pages.
+    """
+
+    def __init__(
+        self,
+        l1_entries: int = 64,
+        l2_entries: int = 1024,
+        l2_ways: int = 8,
+    ) -> None:
+        self.l1 = SetAssociativeCache(l1_entries, l1_entries, name="l1tlb")
+        self.l2 = SetAssociativeCache(l2_entries, l2_ways, name="l2tlb")
+        self.stats = TlbStats()
+
+    def translate(self, page: int) -> bool:
+        """Look up *page*; returns True on an L1 or L2 hit.
+
+        A full miss installs the translation in both levels (a page-table
+        walk is implied and counted in :attr:`TlbStats.walks`).
+        """
+        if self.l1.lookup(page):
+            self.stats.l1_hits += 1
+            return True
+        self.stats.l1_misses += 1
+        if self.l2.lookup(page):
+            self.stats.l2_hits += 1
+            self.l1.insert(page)
+            return True
+        self.stats.l2_misses += 1
+        self.l2.insert(page)
+        self.l1.insert(page)
+        return False
+
+    def shootdown(self, page: int) -> None:
+        """Invalidate a translation (page migration / remap)."""
+        self.l1.invalidate_line(page)
+        self.l2.invalidate_line(page)
+
+    def flush(self) -> None:
+        self.l1.invalidate_all()
+        self.l2.invalidate_all()
+
+    def reach_bytes(self, page_bytes: int) -> int:
+        """Address space covered by a full L2 TLB at the given page size."""
+        return self.l2.n_lines * page_bytes

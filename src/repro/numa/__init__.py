@@ -1,0 +1,1 @@
+"""numa subpackage of the CARVE reproduction."""

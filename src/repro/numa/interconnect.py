@@ -1,0 +1,55 @@
+"""Inter-GPU interconnect model (NVLink-like point-to-point links).
+
+The system is fully connected: each ordered GPU pair (src, dst) has a
+dedicated uni-directional link of ``inter_gpu_bytes_per_s`` (Fig. 1 /
+Table III: 64 GB/s per link, one direction).  The model is a byte
+accountant — per-kernel matrices of bytes moved — plus a latency constant;
+the performance model turns the most-loaded link into time.
+"""
+
+from __future__ import annotations
+
+from repro.config import LinkConfig
+
+
+class Interconnect:
+    """Directional byte counters for every GPU pair."""
+
+    def __init__(self, n_gpus: int, config: LinkConfig) -> None:
+        if n_gpus <= 0:
+            raise ValueError("n_gpus must be positive")
+        self.n_gpus = n_gpus
+        self.config = config
+        self._bytes = [[0] * n_gpus for _ in range(n_gpus)]
+
+    def send(self, src: int, dst: int, n_bytes: int) -> float:
+        """Move *n_bytes* src -> dst; returns the one-way latency in ns."""
+        if src == dst:
+            raise ValueError("no link from a GPU to itself")
+        if n_bytes < 0:
+            raise ValueError("cannot send a negative byte count")
+        self._bytes[src][dst] += n_bytes
+        return self.config.latency_ns
+
+    def bytes_between(self, src: int, dst: int) -> int:
+        return self._bytes[src][dst]
+
+    def matrix(self) -> list[list[int]]:
+        """Copy of the full (src, dst) byte matrix."""
+        return [row[:] for row in self._bytes]
+
+    def total_bytes(self) -> int:
+        return sum(sum(row) for row in self._bytes)
+
+    def busiest_link_bytes(self) -> int:
+        return max(
+            (self._bytes[s][d] for s in range(self.n_gpus)
+             for d in range(self.n_gpus) if s != d),
+            default=0,
+        )
+
+    def snapshot_and_reset(self) -> list[list[int]]:
+        """Return the matrix and zero the counters (per-kernel capture)."""
+        snap = self.matrix()
+        self._bytes = [[0] * self.n_gpus for _ in range(self.n_gpus)]
+        return snap

@@ -1,0 +1,91 @@
+"""Software page replication policies (Section II-C, Fig. 2).
+
+The runtime can replicate *shared* pages into the local memory of each
+accessing GPU so their accesses become local:
+
+* ``read_only`` — the practical policy (Carrefour-style): only pages that
+  are never written are replicated, because collapsing a read-write
+  replica on a store costs prohibitive software overhead.
+* ``all`` — the paper's *ideal* upper bound: every shared page (read-only
+  and read-write) is replicated with zero coherence cost.
+
+Both are driven by a :class:`~repro.analysis.sharing.SharingProfile`, the
+same idealisation the paper uses for its "ideal paging mechanism".  The
+policies report the replica capacity they consume; unbounded replication
+inflates the application footprint ~2.4x on average (Section I), which is
+why it cannot substitute for CARVE on capacity-constrained GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.sharing import SharingProfile
+from repro.config import (
+    REPLICATE_ALL,
+    REPLICATE_NONE,
+    REPLICATE_READ_ONLY,
+)
+from repro.numa.pagetable import PageTable
+
+
+@dataclass
+class ReplicationPlan:
+    """Which pages each GPU will hold replicas of."""
+
+    policy: str
+    #: page -> list of GPUs that get a replica (home excluded at apply time).
+    replica_holders: dict[int, list[int]]
+
+    @property
+    def n_replicated_pages(self) -> int:
+        return len(self.replica_holders)
+
+    def total_replicas(self) -> int:
+        return sum(len(holders) for holders in self.replica_holders.values())
+
+
+def build_replication_plan(
+    profile: SharingProfile, policy: str
+) -> ReplicationPlan:
+    """Select pages to replicate under *policy* using the sharing profile."""
+    if policy == REPLICATE_NONE:
+        return ReplicationPlan(policy, {})
+    if policy == REPLICATE_READ_ONLY:
+        pages = profile.ro_shared_pages()
+    elif policy == REPLICATE_ALL:
+        pages = profile.shared_pages()
+    else:
+        raise ValueError(f"unknown replication policy {policy!r}")
+    holders = {page: profile.accessors_of_page(page) for page in sorted(pages)}
+    return ReplicationPlan(policy, holders)
+
+
+def apply_replication_plan(plan: ReplicationPlan, table: PageTable) -> int:
+    """Install the plan's replicas in the page table.
+
+    Pages not yet mapped are skipped at this point and picked up lazily by
+    the system model on first touch (the home GPU is unknown until then).
+    Returns the number of replicas created now.
+    """
+    created = 0
+    for page, holders in plan.replica_holders.items():
+        if not table.is_mapped(page):
+            continue
+        home = table.peek_home(page)
+        for gpu in holders:
+            if gpu != home and table.add_replica(page, gpu):
+                created += 1
+    return created
+
+
+def replica_capacity_bytes(plan: ReplicationPlan, page_bytes: int) -> int:
+    """Upper bound on extra memory the plan consumes (every holder pays).
+
+    One holder per page is the home copy, so the true extra cost is one
+    page less per replicated page; this accessor-count bound matches the
+    shared-footprint metric of Fig. 5.
+    """
+    return sum(
+        max(0, len(holders) - 1) for holders in plan.replica_holders.values()
+    ) * page_bytes

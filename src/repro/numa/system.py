@@ -1,0 +1,394 @@
+"""The multi-GPU NUMA system model.
+
+This module wires every substrate together — per-GPU cache hierarchies,
+DRAM, the page table and placement/replication/migration runtime, the
+interconnect, and (when enabled) the CARVE controllers with their
+coherence protocol — and implements the per-access semantics:
+
+read:  L1 -> L2 -> {local DRAM | RDC probe -> remote fetch (+RDC fill)}
+write: write-through L1 -> {local L2/DRAM | RDC update + home write}
+       -> coherence consult at the home node (possible invalidations)
+
+Kernel boundaries apply the GPU software-coherence contract (invalidate
+L1s, drop remote lines from LLCs) and, under CARVE-SWC, epoch-invalidate
+the RDCs.
+
+The simulator produces *counters* (see :mod:`repro.perf.stats`); timing is
+priced separately by :mod:`repro.perf.model`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import (
+    COHERENCE_SOFTWARE,
+    LINE_BYTES,
+    LINK_HEADER_BYTES,
+    INVALIDATE_MSG_BYTES,
+    SystemConfig,
+)
+from repro.core.carve import CarveController
+from repro.core.coherence import make_protocol
+from repro.gpu.cta import KernelTrace, WorkloadTrace
+from repro.gpu.scheduler import schedule_kernel
+from repro.memory.address import AddressMap
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.dram import DramModel
+from repro.memory.tlb import TlbHierarchy
+from repro.numa.interconnect import Interconnect
+from repro.numa.migration import SHOOTDOWN_LATENCY_NS, MigrationEngine
+from repro.numa.pagetable import PageTable
+from repro.numa.replication import ReplicationPlan
+from repro.perf.stats import GpuKernelStats, KernelStats, RunResult
+
+
+class GpuNode:
+    """One GPU: aggregate L1, LLC slice, local DRAM, TLBs, optional RDC."""
+
+    def __init__(self, gpu_id: int, config: SystemConfig, amap: AddressMap) -> None:
+        self.gpu_id = gpu_id
+        self.l1 = SetAssociativeCache(
+            config.l1_lines, config.gpu.l1_ways, name=f"gpu{gpu_id}.l1"
+        )
+        self.l2 = SetAssociativeCache(
+            config.l2_lines, config.gpu.l2_ways, name=f"gpu{gpu_id}.l2"
+        )
+        self.dram = DramModel(config.memory, amap)
+        self.tlb = TlbHierarchy() if config.model_tlb else None
+        self.carve: Optional[CarveController] = None
+        if config.has_rdc:
+            assert config.rdc is not None
+            self.carve = CarveController(gpu_id, config.rdc_lines, config.rdc)
+
+
+class MultiGpuSystem:
+    """A configured NUMA multi-GPU executing workload traces."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        replication_plan: Optional[ReplicationPlan] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.label = label or _default_label(config)
+        self.amap = AddressMap(
+            lines_per_page=config.lines_per_page,
+            n_channels=config.memory.n_channels,
+            row_bytes=max(LINE_BYTES, config.memory.row_bytes),
+        )
+        self.nodes = [GpuNode(g, config, self.amap) for g in range(config.n_gpus)]
+        self.pagetable = PageTable(config.n_gpus, config.placement)
+        self.interconnect = Interconnect(config.n_gpus, config.link)
+        if config.has_rdc:
+            assert config.rdc is not None
+            self.protocol = make_protocol(
+                config.rdc.coherence, config.n_gpus, config.rdc
+            )
+        else:
+            # Baseline NUMA-GPU relies on GPU software coherence.
+            self.protocol = make_protocol(COHERENCE_SOFTWARE, config.n_gpus)
+        self.migration = (
+            MigrationEngine(self.pagetable, config.migration_threshold)
+            if config.migration
+            else None
+        )
+        self._replica_holders: dict[int, list[int]] = (
+            dict(replication_plan.replica_holders) if replication_plan else {}
+        )
+        #: Distinct remote pages each GPU has fetched (Fig. 5 measurement).
+        self._remote_pages: list[set[int]] = [set() for _ in range(config.n_gpus)]
+        self._stream = 0
+
+    # ------------------------------------------------------------------
+    # Trace execution
+    # ------------------------------------------------------------------
+
+    def run(self, trace: WorkloadTrace) -> RunResult:
+        """Execute a whole workload; returns the accumulated counters."""
+        result = RunResult(
+            workload=trace.name, config_label=self.label, n_gpus=self.config.n_gpus
+        )
+        for kernel in trace.kernels:
+            result.kernels.append(self.run_kernel(kernel))
+        result.pages_mapped = [
+            self.pagetable.pages_homed(g) for g in range(self.config.n_gpus)
+        ]
+        result.pages_replicated = [
+            self.pagetable.replicas_held(g) for g in range(self.config.n_gpus)
+        ]
+        result.remote_pages_touched = [len(s) for s in self._remote_pages]
+        return result
+
+    def run_kernel(self, kernel: KernelTrace) -> KernelStats:
+        """Execute one kernel launch, then apply the kernel boundary."""
+        cfg = self.config
+        ks = KernelStats(
+            kernel_id=kernel.kernel_id,
+            n_gpus=cfg.n_gpus,
+            instr_per_access=kernel.instr_per_access,
+            concurrency_per_sm=kernel.concurrency_per_sm,
+            warmup=kernel.warmup,
+        )
+        self._stream = kernel.stream
+        dram_before = [
+            (n.dram.stats.reads, n.dram.stats.writes,
+             n.dram.stats.row_hits, n.dram.stats.row_misses)
+            for n in self.nodes
+        ]
+        for gpu, lines, is_write in schedule_kernel(kernel, cfg):
+            self._process_chunk(gpu, lines, is_write, ks)
+        for st in ks.gpus:
+            st.instructions = st.accesses * kernel.instr_per_access
+        self._capture_dram_deltas(ks, dram_before)
+        ks.link_bytes = self.interconnect.snapshot_and_reset()
+        self.kernel_boundary(ks, stream=kernel.stream)
+        return ks
+
+    def kernel_boundary(self, ks: Optional[KernelStats] = None, stream: int = 0) -> None:
+        """Apply end-of-kernel software-coherence actions."""
+        for node in self.nodes:
+            node.l1.invalidate_all()
+            node.l2.invalidate_remote()
+            if node.carve is not None and self.protocol.flush_rdc_at_kernel_boundary:
+                dirty_lines = (
+                    node.carve.rdc.dirty_lines()
+                    if node.carve.defers_home_writes
+                    else []
+                )
+                node.carve.kernel_boundary(stream)
+                # A write-back RDC must push its dirty lines home.
+                for line in dirty_lines:
+                    home = self.pagetable.peek_home(line // self.amap.lines_per_page)
+                    if home < 0 or home == node.gpu_id:
+                        continue
+                    self.interconnect.send(
+                        node.gpu_id, home, LINK_HEADER_BYTES + LINE_BYTES
+                    )
+                    self.nodes[home].dram.access(line, True)
+                    if ks is not None:
+                        ks.gpus[node.gpu_id].remote_writes += 1
+
+    # ------------------------------------------------------------------
+    # Per-access semantics
+    # ------------------------------------------------------------------
+
+    def access(self, gpu: int, line: int, is_write: bool) -> KernelStats:
+        """Single-access entry point (tests and interactive use)."""
+        ks = KernelStats(kernel_id=-1, n_gpus=self.config.n_gpus,
+                         instr_per_access=1.0, concurrency_per_sm=32.0)
+        dram_before = [
+            (n.dram.stats.reads, n.dram.stats.writes,
+             n.dram.stats.row_hits, n.dram.stats.row_misses)
+            for n in self.nodes
+        ]
+        self._process_chunk(
+            gpu,
+            np.asarray([line], dtype=np.int64),
+            np.asarray([is_write], dtype=bool),
+            ks,
+        )
+        self._capture_dram_deltas(ks, dram_before)
+        ks.link_bytes = self.interconnect.snapshot_and_reset()
+        return ks
+
+    def _capture_dram_deltas(self, ks: KernelStats, before) -> None:
+        for g, st in enumerate(ks.gpus):
+            r0, w0, h0, m0 = before[g]
+            d = self.nodes[g].dram.stats
+            st.dram_reads = d.reads - r0
+            st.dram_writes = d.writes - w0
+            st.dram_row_hits = d.row_hits - h0
+            st.dram_row_misses = d.row_misses - m0
+
+    def _on_first_touch(self, page: int, home: int) -> None:
+        """Install planned replicas once the page's home is known."""
+        holders = self._replica_holders.get(page)
+        if holders:
+            for g in holders:
+                if g != home:
+                    self.pagetable.add_replica(page, g)
+
+    def _process_chunk(self, gpu: int, lines, is_write, ks: KernelStats) -> None:
+        cfg = self.config
+        node = self.nodes[gpu]
+        st = ks.gpus[gpu]
+        pt = self.pagetable
+        lpp = self.amap.lines_per_page
+        l1, l2 = node.l1, node.l2
+        carve = node.carve
+        protocol = self.protocol
+        send = self.interconnect.send
+        nodes = self.nodes
+        stream = self._stream
+        migration = self.migration
+        remote_pages = self._remote_pages[gpu]
+        l2_lat = cfg.gpu.l2_hit_latency_ns
+        tlb = node.tlb
+
+        mapped = pt._home  # hot-path alias; PageTable owns the dict
+        for line, write in zip(lines.tolist(), is_write.tolist()):
+            page = line // lpp
+            home = mapped.get(page)
+            if home is None:
+                home = pt.home_of(page, gpu)
+                self._on_first_touch(page, home)
+            if tlb is not None:
+                tlb.translate(page)
+            st.accesses += 1
+            local = home == gpu or pt.has_replica(page, gpu)
+
+            if write:
+                st.writes += 1
+                if l1.lookup(line):
+                    st.l1_hits += 1
+                # Write-through L1: the store always proceeds to the L2
+                # (local lines) or toward the home node (remote lines).
+                if local:
+                    st.local_writes += 1
+                    if not l2.mark_dirty(line):
+                        node.dram.access(line, True)
+                else:
+                    st.remote_writes += 1
+                    remote_pages.add(page)
+                    deferred = False
+                    if carve is not None:
+                        if carve.remote_write(line, stream):
+                            node.dram.access(line, True)  # RDC copy refresh
+                            deferred = carve.defers_home_writes
+                    if not deferred:
+                        send(gpu, home, LINK_HEADER_BYTES + LINE_BYTES)
+                        st.latency_ns += self.interconnect.config.latency_ns
+                        hnode = nodes[home]
+                        if not hnode.l2.mark_dirty(line):
+                            hnode.dram.access(line, True)
+                    if migration is not None:
+                        self._maybe_migrate(page, gpu, home, st)
+                # Coherence: the home controller sees the store.
+                targets = protocol.invalidation_targets(home, gpu, line)
+                if targets:
+                    for p in targets:
+                        if p != home:
+                            # Invalidates to the home's own caches stay
+                            # on-chip; only remote targets cost a message.
+                            send(home, p, INVALIDATE_MSG_BYTES)
+                        pn = nodes[p]
+                        pn.l1.invalidate_line(line)
+                        pn.l2.invalidate_line(line)
+                        if pn.carve is not None:
+                            pn.carve.invalidate(line)
+                        ks.gpus[p].invalidates_received += 1
+                    st.invalidates_sent += len(targets)
+                    protocol.note_invalidated(home, line)
+                continue
+
+            # ---- read path ----
+            if l1.lookup(line):
+                st.l1_hits += 1
+                continue
+            if l2.lookup(line):
+                st.l2_hits += 1
+                st.latency_ns += l2_lat
+                l1.insert(line)
+                continue
+            if local:
+                st.local_reads += 1
+                st.latency_ns += node.dram.access(line, False)
+                self._fill_l2(node, st, line, remote=False)
+                l1.insert(line)
+                continue
+
+            # Remote line, LLC miss.
+            st.latency_ns += l2_lat  # own-LLC miss detection
+            remote_pages.add(page)
+            serviced_locally = False
+            if carve is not None:
+                outcome = carve.remote_read(line, stream)
+                if outcome.probed:
+                    # Alloy probe: one local DRAM access reads tag+data.
+                    st.latency_ns += node.dram.access(line, False)
+                else:
+                    st.rdc_bypasses += 1
+                if outcome.kind == "rdc_hit":
+                    st.rdc_hits += 1
+                    st.local_reads += 1
+                    serviced_locally = True
+                else:
+                    st.rdc_misses += 1
+            if not serviced_locally:
+                st.remote_reads += 1
+                link_lat = self.interconnect.config.latency_ns
+                send(gpu, home, LINK_HEADER_BYTES)
+                hnode = nodes[home]
+                if hnode.l2.contains(line):
+                    st.latency_ns += 2 * link_lat + l2_lat
+                else:
+                    st.latency_ns += 2 * link_lat + hnode.dram.access(line, False)
+                send(home, gpu, LINK_HEADER_BYTES + LINE_BYTES)
+                protocol.note_remote_read(home, gpu, line)
+                if carve is not None:
+                    # RDC fill: a local DRAM write off the critical path.
+                    node.dram.access(line, True)
+                    st.rdc_inserts += 1
+                if migration is not None:
+                    # The page may move under us; the fetched copy stays
+                    # valid either way.
+                    self._maybe_migrate(page, gpu, home, st)
+            self._fill_l2(node, st, line, remote=True)
+            l1.insert(line)
+
+    def _fill_l2(self, node: GpuNode, st: GpuKernelStats, line: int,
+                 remote: bool) -> None:
+        victim = node.l2.insert(line, remote=remote)
+        if victim is not None and victim.dirty:
+            # Dirty L2 lines are always locally homed (writes to remote
+            # lines write through), so the writeback hits this GPU's DRAM.
+            node.dram.access(victim.line, True)
+
+    def _maybe_migrate(self, page: int, gpu: int, home: int,
+                       st: GpuKernelStats) -> None:
+        assert self.migration is not None
+        if home == gpu or not self.migration.note_remote_access(page, gpu):
+            return
+        lpp = self.amap.lines_per_page
+        # Transfer the whole page over the old-home -> gpu link.
+        self.interconnect.send(
+            home, gpu, lpp * LINE_BYTES + LINK_HEADER_BYTES
+        )
+        first = page * lpp
+        hnode, gnode = self.nodes[home], self.nodes[gpu]
+        for ln in range(first, first + lpp):
+            hnode.dram.access(ln, False)
+            gnode.dram.access(ln, True)
+        # TLB shootdown: every GPU drops the stale translation; cached
+        # copies of the page's lines are invalidated everywhere else.
+        for n in self.nodes:
+            if n.tlb is not None:
+                n.tlb.shootdown(page)
+            if n.gpu_id != gpu:
+                for ln in range(first, first + lpp):
+                    n.l1.invalidate_line(ln)
+                    n.l2.invalidate_line(ln)
+                    if n.carve is not None:
+                        n.carve.invalidate(ln)
+        st.latency_ns += SHOOTDOWN_LATENCY_NS
+        st.migrations += 1
+
+
+def _default_label(config: SystemConfig) -> str:
+    if config.n_gpus == 1:
+        return "single-gpu"
+    if config.has_rdc:
+        assert config.rdc is not None
+        gb = config.rdc.size_bytes / 2**30
+        return f"carve-{config.rdc.coherence}-{gb:g}GB"
+    parts = ["numa-gpu"]
+    if config.replication != "none":
+        parts.append(f"repl-{config.replication}")
+    if config.migration:
+        parts.append("mig")
+    return "+".join(parts)

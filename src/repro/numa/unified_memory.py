@@ -1,0 +1,98 @@
+"""Unified-Memory capacity-spill model (Section V-C, Table V(b)).
+
+Carving an RDC out of GPU memory shrinks the OS-visible capacity.  When a
+hand-optimised application already fills GPU memory, the displaced
+fraction of its footprint spills to system (CPU) memory and is serviced
+through the 32 GB/s CPU link under a Unified-Memory-like runtime that
+keeps the *hottest* pages resident in GPU memory.
+
+The model prices that spill analytically from a run's page-heat
+histogram: the coldest pages whose capacity sums to the carve-out are
+demoted, their accesses cross the CPU link, and the slowdown is the ratio
+of the re-priced time to the original.  UM paging focuses on the cold end
+while CARVE serves the hot shared end, which is why the two remain
+largely orthogonal (Section V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import LINE_BYTES, SystemConfig
+
+
+@dataclass
+class SpillAssessment:
+    """Outcome of spilling a footprint fraction to system memory."""
+
+    spill_fraction: float
+    spilled_pages: int
+    spilled_access_fraction: float
+    slowdown: float  # < 1.0 means the spilled system runs slower
+
+
+def spilled_access_fraction(
+    page_access_counts_desc: list[int], spill_fraction: float
+) -> float:
+    """Fraction of accesses hitting spilled pages.
+
+    *page_access_counts_desc* holds per-page access counts sorted hottest
+    first; UM keeps the hot prefix resident and spills the cold suffix
+    whose page count is ``spill_fraction`` of the footprint.
+    """
+    if not 0.0 <= spill_fraction <= 1.0:
+        raise ValueError("spill fraction must be in [0, 1]")
+    n_pages = len(page_access_counts_desc)
+    if not n_pages or spill_fraction == 0.0:
+        return 0.0
+    n_spilled = int(round(n_pages * spill_fraction))
+    if n_spilled == 0:
+        return 0.0
+    total = sum(page_access_counts_desc)
+    if not total:
+        return 0.0
+    spilled = sum(page_access_counts_desc[n_pages - n_spilled:])
+    return spilled / total
+
+
+#: Demand paging moves whole (large) pages for a handful of line accesses
+#: and pays fault-handling overhead, so the effective bytes moved per
+#: spilled access exceed one line.  Calibrated against Table V(b).
+DEFAULT_TRANSFER_AMPLIFICATION = 2.5
+
+
+def assess_capacity_loss(
+    page_access_counts_desc: list[int],
+    spill_fraction: float,
+    config: SystemConfig,
+    baseline_time_s: float,
+    total_accesses: int,
+    transfer_amplification: float = DEFAULT_TRANSFER_AMPLIFICATION,
+) -> SpillAssessment:
+    """Price the slowdown of spilling *spill_fraction* of the footprint.
+
+    The spilled accesses stream over the per-GPU CPU link; the added time
+    is those bytes (amplified by demand-paging transfer overhead) over
+    ``cpu_gpu_bytes_per_s``, overlapped with nothing — UM faults serialise
+    against the faulting warp, so this is the pessimistic end the paper's
+    Table V(b) also reflects.
+    """
+    if baseline_time_s <= 0:
+        raise ValueError("baseline time must be positive")
+    if total_accesses < 0:
+        raise ValueError("access count cannot be negative")
+    if transfer_amplification < 1.0:
+        raise ValueError("transfer amplification cannot be below 1")
+    frac = spilled_access_fraction(page_access_counts_desc, spill_fraction)
+    n_pages = len(page_access_counts_desc)
+    n_spilled = int(round(n_pages * spill_fraction))
+    spilled_bytes = frac * total_accesses * LINE_BYTES * transfer_amplification
+    per_gpu_bytes = spilled_bytes / config.n_gpus
+    added_time = per_gpu_bytes / config.link.cpu_gpu_bytes_per_s
+    slowdown = baseline_time_s / (baseline_time_s + added_time)
+    return SpillAssessment(
+        spill_fraction=spill_fraction,
+        spilled_pages=n_spilled,
+        spilled_access_fraction=frac,
+        slowdown=slowdown,
+    )

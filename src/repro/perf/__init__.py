@@ -1,0 +1,1 @@
+"""perf subpackage of the CARVE reproduction."""

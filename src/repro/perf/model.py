@@ -1,0 +1,158 @@
+"""Bottleneck (roofline-style) timing model.
+
+Per kernel, per GPU the execution time is the maximum of
+
+* compute time          — warp instructions / peak issue rate,
+* local memory time     — DRAM bytes / effective DRAM bandwidth,
+* link time             — the most-loaded directional link / link BW,
+* latency-limited time  — accumulated access latency / sustained MLP,
+
+and the kernel completes when its slowest GPU does (implicit barrier);
+the workload time is the sum over kernels plus launch overheads.  This is
+the standard analytic model for throughput processors: a GPU kernel's
+runtime is set by its saturated resource, and NUMA slowdowns are exactly
+the link term overtaking the others.
+
+Because the model only consumes counters, any *bandwidth* parameter can be
+swept after a single simulation (Fig. 14) — the counters do not depend on
+link speed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import LINE_BYTES, TOPOLOGY_SWITCH, SystemConfig
+from repro.gpu.sm import ComputeModel
+from repro.perf.stats import KernelStats, RunResult
+
+
+@dataclass
+class KernelTime:
+    """Timing breakdown of one kernel (seconds)."""
+
+    kernel_id: int
+    per_gpu: list[float]
+    bottlenecks: list[str]
+    launch_overhead: float
+
+    @property
+    def time(self) -> float:
+        return max(self.per_gpu) + self.launch_overhead
+
+
+@dataclass
+class RunTime:
+    """Timing of a whole run."""
+
+    workload: str
+    config_label: str
+    kernels: list[KernelTime] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return sum(k.time for k in self.kernels)
+
+    def bottleneck_histogram(self) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for k in self.kernels:
+            for b in k.bottlenecks:
+                hist[b] = hist.get(b, 0) + 1
+        return hist
+
+
+def _dram_efficiency(reads: int, writes: int, row_hits: int, row_misses: int) -> float:
+    """Effective fraction of peak DRAM bandwidth (see DramModel)."""
+    accesses = reads + writes
+    if not accesses:
+        return 1.0
+    total_rows = row_hits + row_misses
+    hit_rate = row_hits / total_rows if total_rows else 1.0
+    row_eff = 1.0 / (2.0 - hit_rate)
+    wf = writes / accesses
+    turnaround_eff = 1.0 - 0.4 * wf * (1.0 - wf)
+    return row_eff * turnaround_eff
+
+
+class PerformanceModel:
+    """Prices a :class:`RunResult` into time under a system config."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self._compute = ComputeModel(config.gpu)
+
+    def kernel_time(self, ks: KernelStats,
+                    extra_overhead_s: float = 0.0) -> KernelTime:
+        cfg = self.config
+        link_bw = cfg.link.inter_gpu_bytes_per_s
+        per_gpu: list[float] = []
+        bottlenecks: list[str] = []
+        for g, st in enumerate(ks.gpus):
+            t_compute = self._compute.compute_time_s(st.instructions)
+            eff = _dram_efficiency(
+                st.dram_reads, st.dram_writes, st.dram_row_hits, st.dram_row_misses
+            )
+            dram_bytes = (st.dram_reads + st.dram_writes) * LINE_BYTES
+            t_local = dram_bytes / (cfg.memory.bandwidth_bytes_per_s * eff)
+            if ks.n_gpus <= 1:
+                t_link = 0.0
+            elif cfg.link.topology == TOPOLOGY_SWITCH:
+                # One fabric port per GPU: its in/out totals share it.
+                port_bytes = max(ks.link_in_bytes(g), ks.link_out_bytes(g))
+                t_link = port_bytes / link_bw
+            else:
+                # Dedicated pairwise links: the busiest one binds.
+                t_link = ks.max_link_bytes(g) / link_bw
+            conc = self._compute.concurrency(ks.concurrency_per_sm)
+            t_latency = (st.latency_ns * 1e-9) / conc
+            terms = {
+                "compute": t_compute,
+                "local_dram": t_local,
+                "link": t_link,
+                "latency": t_latency,
+            }
+            bottleneck = max(terms, key=terms.get)  # type: ignore[arg-type]
+            per_gpu.append(terms[bottleneck])
+            bottlenecks.append(bottleneck)
+        # Launch overhead is a real-time constant; simulated kernels are
+        # `scale` times shorter than real ones, so the overhead must be
+        # scaled identically or it would swamp every scaled kernel.
+        overhead = (cfg.kernel_launch_overhead_s + extra_overhead_s) / cfg.scale
+        return KernelTime(ks.kernel_id, per_gpu, bottlenecks, overhead)
+
+    def run_time(self, result: RunResult,
+                 extra_overhead_per_kernel_s: float = 0.0) -> RunTime:
+        """Price the measured (non-warmup) kernels of a run."""
+        rt = RunTime(result.workload, result.config_label)
+        for ks in result.measured_kernels():
+            rt.kernels.append(self.kernel_time(ks, extra_overhead_per_kernel_s))
+        return rt
+
+    def total_time_s(self, result: RunResult) -> float:
+        return self.run_time(result).total_s
+
+
+def speedup(
+    baseline: RunResult,
+    candidate: RunResult,
+    baseline_config: SystemConfig,
+    candidate_config: Optional[SystemConfig] = None,
+) -> float:
+    """``T(baseline) / T(candidate)`` under the respective configs."""
+    candidate_config = candidate_config or baseline_config
+    t_base = PerformanceModel(baseline_config).total_time_s(baseline)
+    t_cand = PerformanceModel(candidate_config).total_time_s(candidate)
+    if t_cand <= 0:
+        raise ValueError("candidate run has non-positive time")
+    return t_base / t_cand
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean of positive values (the paper's summary statistic)."""
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,159 @@
+"""Statistics containers produced by the simulator.
+
+The simulator is split from the timing model: a run produces *counters*
+(instructions, bytes moved per resource, accumulated latency), and
+:mod:`repro.perf.model` converts counters into time.  Keeping raw counters
+makes sensitivity studies (e.g. Fig. 14's link-bandwidth sweep) free: the
+same counters are re-priced under a different configuration without
+re-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import LINE_BYTES
+
+
+@dataclass
+class GpuKernelStats:
+    """Counters for one GPU during one kernel."""
+
+    instructions: float = 0.0
+    accesses: int = 0
+    writes: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    #: Accesses serviced by this GPU's own DRAM (any requester), split by
+    #: direction.  Includes RDC probe/insert traffic.
+    dram_reads: int = 0
+    dram_writes: int = 0
+    dram_row_hits: int = 0
+    dram_row_misses: int = 0
+    #: Demand accesses that crossed a link to another GPU's memory.
+    remote_reads: int = 0
+    remote_writes: int = 0
+    #: Demand accesses satisfied from local memory (home, replica or RDC).
+    local_reads: int = 0
+    local_writes: int = 0
+    rdc_hits: int = 0
+    rdc_misses: int = 0
+    rdc_inserts: int = 0
+    rdc_bypasses: int = 0  # probes skipped by the hit predictor
+    invalidates_sent: int = 0
+    invalidates_received: int = 0
+    migrations: int = 0
+    #: Total latency experienced by this GPU's demand accesses, ns.
+    latency_ns: float = 0.0
+
+    @property
+    def reads(self) -> int:
+        return self.accesses - self.writes
+
+    @property
+    def dram_bytes(self) -> int:
+        return (self.dram_reads + self.dram_writes) * LINE_BYTES
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of post-LLC demand accesses that went remote."""
+        demand = (
+            self.remote_reads
+            + self.remote_writes
+            + self.local_reads
+            + self.local_writes
+        )
+        if not demand:
+            return 0.0
+        return (self.remote_reads + self.remote_writes) / demand
+
+    @property
+    def rdc_hit_rate(self) -> float:
+        probes = self.rdc_hits + self.rdc_misses
+        return self.rdc_hits / probes if probes else 0.0
+
+    def merge(self, other: "GpuKernelStats") -> None:
+        """Accumulate *other* into this object (for workload-level views)."""
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+
+@dataclass
+class KernelStats:
+    """Counters for one kernel across all GPUs plus the link matrix."""
+
+    kernel_id: int
+    n_gpus: int
+    instr_per_access: float
+    concurrency_per_sm: float
+    warmup: bool = False
+    gpus: list[GpuKernelStats] = field(default_factory=list)
+    #: link_bytes[src][dst]: bytes moved src -> dst during this kernel.
+    link_bytes: list[list[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.gpus:
+            self.gpus = [GpuKernelStats() for _ in range(self.n_gpus)]
+        if not self.link_bytes:
+            self.link_bytes = [[0] * self.n_gpus for _ in range(self.n_gpus)]
+
+    def total(self) -> GpuKernelStats:
+        agg = GpuKernelStats()
+        for g in self.gpus:
+            agg.merge(g)
+        return agg
+
+    def link_out_bytes(self, gpu: int) -> int:
+        return sum(self.link_bytes[gpu])
+
+    def link_in_bytes(self, gpu: int) -> int:
+        return sum(row[gpu] for row in self.link_bytes)
+
+    def max_link_bytes(self, gpu: int) -> int:
+        """Largest single directional link load touching *gpu*."""
+        out = max(self.link_bytes[gpu]) if self.n_gpus > 1 else 0
+        inc = max(row[gpu] for row in self.link_bytes) if self.n_gpus > 1 else 0
+        return max(out, inc)
+
+
+@dataclass
+class RunResult:
+    """Everything a simulation run produced."""
+
+    workload: str
+    config_label: str
+    n_gpus: int
+    kernels: list[KernelStats] = field(default_factory=list)
+    #: Pages mapped per GPU at the end of the run (capacity accounting).
+    pages_mapped: list[int] = field(default_factory=list)
+    #: Replica pages per GPU (replication capacity pressure).
+    pages_replicated: list[int] = field(default_factory=list)
+    #: Distinct remote pages fetched by each GPU (shared footprint, Fig. 5).
+    remote_pages_touched: list[int] = field(default_factory=list)
+    #: Optional page access-frequency histogram for the UM spill model:
+    #: sorted per-page access counts (descending).
+    page_access_counts: Optional[list[int]] = None
+
+    def total(self, include_warmup: bool = False) -> GpuKernelStats:
+        agg = GpuKernelStats()
+        for k in self.kernels:
+            if k.warmup and not include_warmup:
+                continue
+            agg.merge(k.total())
+        return agg
+
+    def measured_kernels(self) -> list[KernelStats]:
+        return [k for k in self.kernels if not k.warmup]
+
+    @property
+    def remote_fraction(self) -> float:
+        return self.total().remote_fraction
+
+    @property
+    def replication_pressure(self) -> float:
+        """Memory capacity expansion factor from replication (>= 1)."""
+        mapped = sum(self.pages_mapped)
+        if not mapped:
+            return 1.0
+        return (mapped + sum(self.pages_replicated)) / mapped

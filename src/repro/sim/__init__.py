@@ -1,0 +1,1 @@
+"""sim subpackage of the CARVE reproduction."""

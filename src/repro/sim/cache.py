@@ -1,0 +1,94 @@
+"""On-disk memoisation of simulation runs.
+
+A full-suite figure needs ~8 configurations x 20 workloads; benchmarks
+live in separate processes, so results are cached on disk keyed by the
+exact (workload spec, system config) pair plus a code-version stamp.
+Bump :data:`CODE_VERSION` whenever simulator semantics change — stale
+cache entries are then ignored.
+
+Set the environment variable ``REPRO_NO_CACHE=1`` to disable caching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.config import SystemConfig
+from repro.perf.stats import RunResult
+from repro.workloads.base import WorkloadSpec
+
+#: Bump on any change that alters simulation results.
+CODE_VERSION = 8
+
+_DEFAULT_DIR = Path(__file__).resolve().parents[3] / ".simcache"
+
+
+def cache_dir() -> Path:
+    override = os.environ.get("REPRO_CACHE_DIR")
+    return Path(override) if override else _DEFAULT_DIR
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "") != "1"
+
+
+def _key(spec: WorkloadSpec, config: SystemConfig) -> str:
+    payload = f"v{CODE_VERSION}|{spec!r}|{config!r}".encode()
+    return hashlib.sha256(payload).hexdigest()[:32]
+
+
+def load(spec: WorkloadSpec, config: SystemConfig) -> Optional[RunResult]:
+    """Return a cached result, or None when absent/disabled/corrupt."""
+    if not cache_enabled():
+        return None
+    path = cache_dir() / f"{_key(spec, config)}.pkl"
+    if not path.exists():
+        return None
+    try:
+        with path.open("rb") as f:
+            obj = pickle.load(f)
+    except Exception:
+        return None
+    return obj if isinstance(obj, RunResult) else None
+
+
+def store(spec: WorkloadSpec, config: SystemConfig, result: RunResult) -> None:
+    if not cache_enabled():
+        return
+    d = cache_dir()
+    d.mkdir(parents=True, exist_ok=True)
+    path = d / f"{_key(spec, config)}.pkl"
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("wb") as f:
+        pickle.dump(result, f, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp.replace(path)
+
+
+def cached(
+    spec: WorkloadSpec,
+    config: SystemConfig,
+    compute: Callable[[], RunResult],
+) -> RunResult:
+    """Memoise *compute* under the (spec, config) key."""
+    hit = load(spec, config)
+    if hit is not None:
+        return hit
+    result = compute()
+    store(spec, config, result)
+    return result
+
+
+def clear() -> int:
+    """Delete every cache entry; returns how many files were removed."""
+    d = cache_dir()
+    if not d.exists():
+        return 0
+    n = 0
+    for p in d.glob("*.pkl"):
+        p.unlink()
+        n += 1
+    return n

@@ -1,0 +1,87 @@
+"""End-to-end simulation driver.
+
+``run_workload`` takes a workload (spec or Table II abbreviation) and a
+system configuration and produces a :class:`RunResult`:
+
+1. synthesise the trace,
+2. profile page sharing if a software replication policy is active,
+3. build the system and execute the trace,
+4. attach the page-heat histogram (Unified-Memory spill model input).
+
+Results are memoised on disk (see :mod:`repro.sim.cache`) because every
+figure re-prices the same runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.analysis.sharing import profile_sharing
+from repro.config import REPLICATE_NONE, SystemConfig
+from repro.gpu.cta import WorkloadTrace
+from repro.numa.replication import ReplicationPlan, build_replication_plan
+from repro.numa.system import MultiGpuSystem
+from repro.perf.model import PerformanceModel, RunTime
+from repro.perf.stats import RunResult
+from repro.sim import cache
+from repro.workloads import suite
+from repro.workloads.base import WorkloadSpec, generate_trace
+
+WorkloadLike = Union[str, WorkloadSpec]
+
+
+def resolve_workload(workload: WorkloadLike) -> WorkloadSpec:
+    if isinstance(workload, WorkloadSpec):
+        return workload
+    return suite.get(workload)
+
+
+def run_workload(
+    workload: WorkloadLike,
+    config: SystemConfig,
+    label: Optional[str] = None,
+    use_cache: bool = True,
+    trace: Optional[WorkloadTrace] = None,
+) -> RunResult:
+    """Simulate *workload* on *config*; returns the counters.
+
+    A pre-generated *trace* bypasses both generation and the cache (used
+    by tests that need control over the exact access stream).
+    """
+    spec = resolve_workload(workload)
+    if trace is not None:
+        return _execute(spec, config, label, trace)
+    if use_cache:
+        return cache.cached(
+            spec, config, lambda: _execute(spec, config, label, None)
+        )
+    return _execute(spec, config, label, None)
+
+
+def _execute(
+    spec: WorkloadSpec,
+    config: SystemConfig,
+    label: Optional[str],
+    trace: Optional[WorkloadTrace],
+) -> RunResult:
+    config.validate()
+    if trace is None:
+        trace = generate_trace(spec, config)
+    plan: Optional[ReplicationPlan] = None
+    profile = profile_sharing(trace, config)
+    if config.replication != REPLICATE_NONE:
+        plan = build_replication_plan(profile, config.replication)
+    system = MultiGpuSystem(config, plan, label)
+    result = system.run(trace)
+    result.page_access_counts = profile.sorted_page_access_counts()
+    return result
+
+
+def time_of(result: RunResult, config: SystemConfig) -> float:
+    """Total execution time of a run in (scaled) seconds."""
+    return PerformanceModel(config).total_time_s(result)
+
+
+def run_time(result: RunResult, config: SystemConfig) -> RunTime:
+    """Full timing breakdown of a run."""
+    return PerformanceModel(config).run_time(result)

@@ -1,0 +1,270 @@
+"""Named experiment configurations and figure-level computations.
+
+Every configuration the paper evaluates is defined here once, and each
+figure/table has a function that produces exactly the numbers the paper
+plots.  The benchmark scripts under ``benchmarks/`` call these and print
+the rows; examples call them interactively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import (
+    COHERENCE_HARDWARE,
+    COHERENCE_NONE,
+    COHERENCE_SOFTWARE,
+    REPLICATE_ALL,
+    REPLICATE_READ_ONLY,
+    SystemConfig,
+    baseline_config,
+)
+from repro.numa.unified_memory import assess_capacity_loss
+from repro.perf.model import PerformanceModel, geometric_mean
+from repro.perf.stats import RunResult
+from repro.sim.driver import run_workload, time_of
+from repro.workloads import suite
+
+GB = 2**30
+
+# ---------------------------------------------------------------------------
+# Configuration registry
+# ---------------------------------------------------------------------------
+
+#: Configuration names used throughout the benchmarks and examples.
+SINGLE_GPU = "single-gpu"
+NUMA_GPU = "numa-gpu"
+NUMA_MIGRATION = "numa-gpu+migration"
+NUMA_REPL_RO = "numa-gpu+repl-ro"
+IDEAL = "ideal"
+CARVE_NOC = "carve-no-coherence"
+CARVE_SWC = "carve-swc"
+CARVE_HWC = "carve-hwc"
+
+
+def experiment_configs(
+    base: Optional[SystemConfig] = None,
+    rdc_bytes: int = 2 * GB,
+) -> dict[str, SystemConfig]:
+    """The full set of systems evaluated by the paper."""
+    base = base or baseline_config()
+    return {
+        SINGLE_GPU: base.single_gpu(),
+        NUMA_GPU: base,
+        NUMA_MIGRATION: base.replace(migration=True),
+        NUMA_REPL_RO: base.replace(replication=REPLICATE_READ_ONLY),
+        IDEAL: base.replace(replication=REPLICATE_ALL),
+        CARVE_NOC: base.with_rdc(rdc_bytes, coherence=COHERENCE_NONE),
+        CARVE_SWC: base.with_rdc(rdc_bytes, coherence=COHERENCE_SOFTWARE),
+        CARVE_HWC: base.with_rdc(rdc_bytes, coherence=COHERENCE_HARDWARE),
+    }
+
+
+def config_for(name: str, base: Optional[SystemConfig] = None,
+               rdc_bytes: int = 2 * GB) -> SystemConfig:
+    configs = experiment_configs(base, rdc_bytes)
+    try:
+        return configs[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment config {name!r}; "
+                       f"known: {sorted(configs)}") from None
+
+
+# ---------------------------------------------------------------------------
+# Suite execution helpers
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SuiteRun:
+    """Results of one configuration across (part of) the suite."""
+
+    config_name: str
+    config: SystemConfig
+    results: dict[str, RunResult] = field(default_factory=dict)
+
+    def time_s(self, abbr: str) -> float:
+        return time_of(self.results[abbr], self.config)
+
+
+def run_suite(
+    config_name: str,
+    base: Optional[SystemConfig] = None,
+    workloads: Optional[list[str]] = None,
+    rdc_bytes: int = 2 * GB,
+    use_cache: bool = True,
+) -> SuiteRun:
+    """Run one named configuration across the workload list."""
+    config = config_for(config_name, base, rdc_bytes)
+    names = workloads if workloads is not None else suite.all_abbrs()
+    run = SuiteRun(config_name=config_name, config=config)
+    for abbr in names:
+        run.results[abbr] = run_workload(
+            abbr, config, label=config_name, use_cache=use_cache
+        )
+    return run
+
+
+def speedups_vs(
+    candidate: SuiteRun, reference: SuiteRun
+) -> dict[str, float]:
+    """Per-workload ``T(reference) / T(candidate)``."""
+    out = {}
+    for abbr, result in candidate.results.items():
+        t_ref = time_of(reference.results[abbr], reference.config)
+        t_cand = time_of(result, candidate.config)
+        out[abbr] = t_ref / t_cand
+    return out
+
+
+def relative_performance(
+    candidate: SuiteRun, ideal: SuiteRun
+) -> dict[str, float]:
+    """Per-workload performance relative to the ideal system (Fig. 2/9)."""
+    out = {}
+    for abbr, result in candidate.results.items():
+        t_ideal = time_of(ideal.results[abbr], ideal.config)
+        t_cand = time_of(result, candidate.config)
+        out[abbr] = t_ideal / t_cand
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure/table computations
+# ---------------------------------------------------------------------------
+
+def figure2(workloads: Optional[list[str]] = None,
+            use_cache: bool = True) -> dict[str, dict[str, float]]:
+    """Fig. 2: NUMA-GPU and +RO-replication relative to ideal."""
+    ideal = run_suite(IDEAL, workloads=workloads, use_cache=use_cache)
+    rows: dict[str, dict[str, float]] = {}
+    for name in (NUMA_GPU, NUMA_REPL_RO):
+        run = run_suite(name, workloads=workloads, use_cache=use_cache)
+        rows[name] = relative_performance(run, ideal)
+    return rows
+
+
+def figure8(workloads: Optional[list[str]] = None,
+            use_cache: bool = True) -> dict[str, dict[str, float]]:
+    """Fig. 8: fraction of remote memory accesses, NUMA-GPU vs CARVE."""
+    out: dict[str, dict[str, float]] = {}
+    for name in (NUMA_GPU, CARVE_HWC):
+        run = run_suite(name, workloads=workloads, use_cache=use_cache)
+        out[name] = {
+            abbr: r.remote_fraction for abbr, r in run.results.items()
+        }
+    return out
+
+
+def figure9(workloads: Optional[list[str]] = None,
+            use_cache: bool = True) -> dict[str, dict[str, float]]:
+    """Fig. 9: CARVE upper bound (no coherence) relative to ideal."""
+    ideal = run_suite(IDEAL, workloads=workloads, use_cache=use_cache)
+    rows: dict[str, dict[str, float]] = {}
+    for name in (NUMA_GPU, NUMA_REPL_RO, CARVE_NOC):
+        run = run_suite(name, workloads=workloads, use_cache=use_cache)
+        rows[name] = relative_performance(run, ideal)
+    return rows
+
+
+def figure11(workloads: Optional[list[str]] = None,
+             use_cache: bool = True) -> dict[str, dict[str, float]]:
+    """Fig. 11: software vs hardware RDC coherence, relative to ideal."""
+    ideal = run_suite(IDEAL, workloads=workloads, use_cache=use_cache)
+    rows: dict[str, dict[str, float]] = {}
+    for name in (NUMA_GPU, CARVE_SWC, CARVE_HWC, CARVE_NOC):
+        run = run_suite(name, workloads=workloads, use_cache=use_cache)
+        rows[name] = relative_performance(run, ideal)
+    return rows
+
+
+def figure13(workloads: Optional[list[str]] = None,
+             use_cache: bool = True) -> dict[str, dict[str, float]]:
+    """Fig. 13: speedup over a single GPU for the four headline systems."""
+    single = run_suite(SINGLE_GPU, workloads=workloads, use_cache=use_cache)
+    rows: dict[str, dict[str, float]] = {}
+    for name in (NUMA_GPU, NUMA_REPL_RO, CARVE_HWC, IDEAL):
+        run = run_suite(name, workloads=workloads, use_cache=use_cache)
+        rows[name] = speedups_vs(run, single)
+    return rows
+
+
+def figure14(
+    link_bandwidths_gbs: Optional[list[float]] = None,
+    workloads: Optional[list[str]] = None,
+    use_cache: bool = True,
+) -> dict[str, dict[float, float]]:
+    """Fig. 14: geomean speedup over 1 GPU vs inter-GPU link bandwidth.
+
+    Simulation counters do not depend on link *bandwidth* (only the
+    pricing does), so each configuration is simulated once and re-priced
+    per bandwidth point.
+    """
+    bws = link_bandwidths_gbs or [32.0, 64.0, 128.0, 256.0]
+    single = run_suite(SINGLE_GPU, workloads=workloads, use_cache=use_cache)
+    out: dict[str, dict[float, float]] = {}
+    for name in (NUMA_GPU, NUMA_REPL_RO, CARVE_HWC, IDEAL):
+        run = run_suite(name, workloads=workloads, use_cache=use_cache)
+        series: dict[float, float] = {}
+        for bw in bws:
+            priced = run.config.replace(
+                link=run.config.link.__class__(
+                    inter_gpu_bytes_per_s=bw * 1e9,
+                    cpu_gpu_bytes_per_s=run.config.link.cpu_gpu_bytes_per_s,
+                    latency_ns=run.config.link.latency_ns,
+                )
+            )
+            model = PerformanceModel(priced)
+            single_model = PerformanceModel(single.config)
+            sp = []
+            for abbr, result in run.results.items():
+                t_single = single_model.total_time_s(single.results[abbr])
+                sp.append(t_single / model.total_time_s(result))
+            series[bw] = geometric_mean(sp)
+        out[name] = series
+    return out
+
+
+def table5a(
+    rdc_sizes_gb: Optional[list[float]] = None,
+    workloads: Optional[list[str]] = None,
+    use_cache: bool = True,
+) -> dict[str, float]:
+    """Table V(a): geomean NUMA speedup vs RDC size (plus the baseline)."""
+    sizes = rdc_sizes_gb or [0.5, 1.0, 2.0, 4.0]
+    single = run_suite(SINGLE_GPU, workloads=workloads, use_cache=use_cache)
+    out: dict[str, float] = {}
+    numa = run_suite(NUMA_GPU, workloads=workloads, use_cache=use_cache)
+    out["NUMA-GPU"] = geometric_mean(list(speedups_vs(numa, single).values()))
+    for size in sizes:
+        run = run_suite(
+            CARVE_HWC,
+            workloads=workloads,
+            rdc_bytes=int(size * GB),
+            use_cache=use_cache,
+        )
+        key = f"CARVE-{size:g}GB"
+        out[key] = geometric_mean(list(speedups_vs(run, single).values()))
+    return out
+
+
+def table5b(
+    spill_fractions: Optional[list[float]] = None,
+    workloads: Optional[list[str]] = None,
+    use_cache: bool = True,
+) -> dict[float, float]:
+    """Table V(b): geomean slowdown when the carve-out forces a spill."""
+    fracs = spill_fractions or [0.0, 0.015, 0.0312, 0.0625, 0.125]
+    run = run_suite(NUMA_GPU, workloads=workloads, use_cache=use_cache)
+    out: dict[float, float] = {}
+    for frac in fracs:
+        slows = []
+        for abbr, result in run.results.items():
+            base_t = time_of(result, run.config)
+            counts = result.page_access_counts or []
+            assessment = assess_capacity_loss(
+                counts, frac, run.config, base_t, result.total().accesses
+            )
+            slows.append(assessment.slowdown)
+        out[frac] = geometric_mean(slows)
+    return out

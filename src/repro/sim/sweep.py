@@ -1,0 +1,166 @@
+"""Generic parameter-sweep utilities.
+
+Sensitivity studies come in two flavours here:
+
+* **re-simulation sweeps** — the parameter changes the traffic (RDC size,
+  coherence protocol, GPU count, placement): every point is a new run;
+* **re-pricing sweeps** — the parameter only changes the timing model
+  (any bandwidth, latency, launch overhead): one run per configuration is
+  re-priced for every point, which is how Fig. 14 evaluates five link
+  bandwidths for the cost of one.
+
+``Sweep`` drives both, memoising runs through the standard disk cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.perf.model import PerformanceModel, geometric_mean
+from repro.perf.stats import RunResult
+from repro.sim.driver import resolve_workload, run_workload
+
+#: A function mapping a sweep value to a full system configuration.
+ConfigFactory = Callable[[float], SystemConfig]
+
+
+@dataclass
+class SweepPoint:
+    """One (value, workload) cell of a sweep."""
+
+    value: float
+    workload: str
+    time_s: float
+    result: RunResult
+
+
+@dataclass
+class SweepResult:
+    """All cells of a sweep, with convenience reductions."""
+
+    name: str
+    values: list[float]
+    workloads: list[str]
+    points: dict[tuple[float, str], SweepPoint] = field(default_factory=dict)
+
+    def time(self, value: float, workload: str) -> float:
+        return self.points[(value, workload)].time_s
+
+    def series(self, workload: str) -> dict[float, float]:
+        """value -> time for one workload."""
+        return {v: self.time(v, workload) for v in self.values}
+
+    def geomean_speedup_vs(
+        self, baseline: "SweepResult", baseline_value: Optional[float] = None
+    ) -> dict[float, float]:
+        """Per-value geomean of ``T(baseline) / T(this)`` across workloads.
+
+        *baseline_value* pins the baseline to one of its sweep values
+        (e.g. compare every RDC size against the no-RDC system); defaults
+        to comparing value-for-value.
+        """
+        out = {}
+        for v in self.values:
+            ratios = []
+            for w in self.workloads:
+                bv = baseline_value if baseline_value is not None else v
+                ratios.append(baseline.time(bv, w) / self.time(v, w))
+            out[v] = geometric_mean(ratios)
+        return out
+
+
+def run_sweep(
+    name: str,
+    values: Sequence[float],
+    config_factory: ConfigFactory,
+    workloads: Sequence[str],
+    use_cache: bool = True,
+) -> SweepResult:
+    """Re-simulation sweep: one run per (value, workload)."""
+    specs = [resolve_workload(w) for w in workloads]
+    sweep = SweepResult(
+        name=name, values=list(values), workloads=[s.abbr for s in specs]
+    )
+    for v in values:
+        cfg = config_factory(v)
+        model = PerformanceModel(cfg)
+        for spec in specs:
+            result = run_workload(
+                spec, cfg, label=f"{name}={v:g}", use_cache=use_cache
+            )
+            sweep.points[(v, spec.abbr)] = SweepPoint(
+                value=v,
+                workload=spec.abbr,
+                time_s=model.total_time_s(result),
+                result=result,
+            )
+    return sweep
+
+
+def reprice_sweep(
+    name: str,
+    values: Sequence[float],
+    base_config: SystemConfig,
+    price_factory: ConfigFactory,
+    workloads: Sequence[str],
+    use_cache: bool = True,
+) -> SweepResult:
+    """Re-pricing sweep: simulate once on *base_config*, re-price per value.
+
+    *price_factory* maps a sweep value to the configuration used for
+    pricing only — it must not change anything that affects traffic
+    counters (capacities, policies, GPU counts), or the sweep is invalid;
+    bandwidths, latencies, and overheads are fair game.
+    """
+    specs = [resolve_workload(w) for w in workloads]
+    sweep = SweepResult(
+        name=name, values=list(values), workloads=[s.abbr for s in specs]
+    )
+    results = {
+        spec.abbr: run_workload(
+            spec, base_config, label=f"{name}-base", use_cache=use_cache
+        )
+        for spec in specs
+    }
+    for v in values:
+        priced = price_factory(v)
+        _check_same_traffic_shape(base_config, priced)
+        model = PerformanceModel(priced)
+        for abbr, result in results.items():
+            sweep.points[(v, abbr)] = SweepPoint(
+                value=v,
+                workload=abbr,
+                time_s=model.total_time_s(result),
+                result=result,
+            )
+    return sweep
+
+
+def _check_same_traffic_shape(base: SystemConfig, priced: SystemConfig) -> None:
+    """Reject re-pricing configs that would have changed the simulation."""
+    if (
+        priced.n_gpus != base.n_gpus
+        or priced.scale != base.scale
+        or priced.page_bytes != base.page_bytes
+        or priced.placement != base.placement
+        or priced.replication != base.replication
+        or priced.migration != base.migration
+        or priced.scheduling != base.scheduling
+        or (priced.rdc is None) != (base.rdc is None)
+    ):
+        raise ValueError(
+            "re-pricing sweep changed a traffic-affecting parameter; "
+            "use run_sweep instead"
+        )
+    if priced.rdc is not None and base.rdc is not None:
+        if (
+            priced.rdc.size_bytes != base.rdc.size_bytes
+            or priced.rdc.coherence != base.rdc.coherence
+            or priced.rdc.write_policy != base.rdc.write_policy
+            or priced.rdc.hit_predictor != base.rdc.hit_predictor
+        ):
+            raise ValueError(
+                "re-pricing sweep changed the RDC; use run_sweep instead"
+            )

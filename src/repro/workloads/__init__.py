@@ -1,0 +1,1 @@
+"""workloads subpackage of the CARVE reproduction."""

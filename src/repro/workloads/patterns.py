@@ -1,0 +1,134 @@
+"""Access-pattern primitives for synthetic trace generation.
+
+Each primitive returns a NumPy array of line numbers inside a region
+``[start, start + n_lines)``.  They are the building blocks the workload
+generator composes into per-CTA access streams:
+
+* ``stream``  — sequential sweep (stream-triad, dense kernels);
+* ``strided`` — fixed-stride sweep (structured grids, conv layers);
+* ``uniform`` — uniform random (hash tables, RandAccess);
+* ``zipf``    — power-law popularity (XSBench cross-section lookups,
+  graph frontiers), with hot ranks scattered across pages so hotness is
+  not an artifact of page layout;
+* ``stencil`` — sweep plus near-neighbour offsets (AMR/multigrid codes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Large odd constant used to scatter zipf ranks across a region.
+_SCATTER = 2654435761
+
+
+def stream(start: int, n_lines: int, count: int, offset: int = 0) -> np.ndarray:
+    """Sequential sweep of the region, wrapping as needed."""
+    _check(start, n_lines, count)
+    idx = (np.arange(count, dtype=np.int64) + offset) % n_lines
+    return start + idx
+
+
+def strided(
+    start: int, n_lines: int, count: int, stride: int = 4, offset: int = 0
+) -> np.ndarray:
+    """Fixed-stride sweep; co-prime strides cover the whole region."""
+    _check(start, n_lines, count)
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    idx = (np.arange(count, dtype=np.int64) * stride + offset) % n_lines
+    return start + idx
+
+
+def uniform(
+    start: int, n_lines: int, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform random lines in the region."""
+    _check(start, n_lines, count)
+    return start + rng.integers(0, n_lines, size=count, dtype=np.int64)
+
+
+def zipf(
+    start: int,
+    n_lines: int,
+    count: int,
+    rng: np.random.Generator,
+    alpha: float = 1.2,
+) -> np.ndarray:
+    """Power-law line popularity: rank r is accessed with weight r^-alpha.
+
+    Ranks are scattered across the region so the hot set spans many pages
+    (as real hot data does), rather than clustering at the region start.
+    """
+    _check(start, n_lines, count)
+    if alpha <= 1.0:
+        raise ValueError("zipf exponent must exceed 1")
+    ranks = rng.zipf(alpha, size=count).astype(np.int64) - 1
+    ranks %= n_lines
+    scattered = (ranks * _SCATTER) % n_lines
+    return start + scattered
+
+
+def stencil(
+    start: int,
+    n_lines: int,
+    count: int,
+    rng: np.random.Generator,
+    row_lines: int = 64,
+    offset: int = 0,
+) -> np.ndarray:
+    """Sweep with +/-1 and +/-row neighbour touches (5-point stencil)."""
+    _check(start, n_lines, count)
+    if row_lines <= 0:
+        raise ValueError("row_lines must be positive")
+    base = (np.arange(count, dtype=np.int64) + offset) % n_lines
+    offsets = rng.choice(
+        np.asarray([0, 0, 1, -1, row_lines, -row_lines], dtype=np.int64),
+        size=count,
+    )
+    return start + (base + offsets) % n_lines
+
+
+PATTERNS = {
+    "stream": stream,
+    "strided": strided,
+    "uniform": uniform,
+    "zipf": zipf,
+    "stencil": stencil,
+}
+
+#: Patterns that need an RNG argument.
+RANDOM_PATTERNS = frozenset({"uniform", "zipf", "stencil"})
+
+
+def generate(
+    pattern: str,
+    start: int,
+    n_lines: int,
+    count: int,
+    rng: np.random.Generator,
+    *,
+    offset: int = 0,
+    stride: int = 4,
+    alpha: float = 1.2,
+) -> np.ndarray:
+    """Dispatch to a named pattern with the appropriate arguments."""
+    if pattern == "stream":
+        return stream(start, n_lines, count, offset=offset)
+    if pattern == "strided":
+        return strided(start, n_lines, count, stride=stride, offset=offset)
+    if pattern == "uniform":
+        return uniform(start, n_lines, count, rng)
+    if pattern == "zipf":
+        return zipf(start, n_lines, count, rng, alpha=alpha)
+    if pattern == "stencil":
+        return stencil(start, n_lines, count, rng, offset=offset)
+    raise ValueError(f"unknown access pattern {pattern!r}")
+
+
+def _check(start: int, n_lines: int, count: int) -> None:
+    if start < 0:
+        raise ValueError("region start cannot be negative")
+    if n_lines <= 0:
+        raise ValueError("region must contain at least one line")
+    if count < 0:
+        raise ValueError("access count cannot be negative")

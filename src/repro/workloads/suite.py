@@ -1,0 +1,274 @@
+"""The 20-benchmark suite of Table II.
+
+Each paper workload is represented by a :class:`WorkloadSpec` whose
+parameters encode its published characteristics — memory footprint
+(Table II) — and the behaviours the paper reports per workload:
+
+* eight workloads have negligible NUMA bottlenecks (compute-bound or
+  private-dominated after first-touch placement);
+* three are cured by replicating read-only shared pages (read-only scene
+  /graph data);
+* the rest need read-write shared data served locally (CARVE's target),
+  with XSBench/HPGMG-amry carrying shared working sets beyond a 2 GB RDC
+  (Table V(a) size sensitivity) and XSBench showing strong *intra*-kernel
+  reuse (the one workload CARVE-SWC still helps, Fig. 11);
+* RandAccess is latency-bound with an RDC-hostile random footprint
+  (the Fig. 9 outlier).
+
+The exact knob values are calibrations, not measurements; see
+EXPERIMENTS.md for the per-figure comparison against the paper.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadSpec
+
+MB = 2**20
+GB = 2**30
+
+#: Sharing behaviour groups (used by tests and report labels).
+GROUP_LOW_NUMA = "low-numa"
+GROUP_RO_FIXED = "ro-replication-fixed"
+GROUP_RW_SHARED = "rw-shared"
+GROUP_LATENCY = "latency-outlier"
+
+
+def _hpc(**kw) -> WorkloadSpec:
+    return WorkloadSpec(suite="HPC", **kw)
+
+
+def _ml(**kw) -> WorkloadSpec:
+    return WorkloadSpec(suite="ML", **kw)
+
+
+def _other(**kw) -> WorkloadSpec:
+    return WorkloadSpec(suite="Other", **kw)
+
+
+SUITE: tuple[WorkloadSpec, ...] = (
+    # ---- HPC ----------------------------------------------------------
+    _hpc(
+        name="AMG_32", abbr="AMG", footprint_bytes=int(3.2 * GB),
+        n_kernels=6, coverage=1.6,
+        shared_page_frac=0.35, shared_access_frac=0.35,
+        rw_page_frac=0.85, line_write_frac=0.08, write_frac=0.22,
+        private_pattern="strided", shared_pattern="uniform",
+        instr_per_access=8.0, concurrency_per_sm=32.0, seed=101,
+    ),
+    _hpc(
+        name="HPGMG-UVM", abbr="HPGMG", footprint_bytes=2 * GB,
+        n_kernels=8, coverage=1.3,
+        shared_page_frac=0.45, shared_access_frac=0.45,
+        rw_page_frac=0.80, line_write_frac=0.10, write_frac=0.25,
+        private_pattern="stencil", shared_pattern="uniform",
+        instr_per_access=7.0, concurrency_per_sm=32.0, seed=102,
+    ),
+    _hpc(
+        name="HPGMG-amry-proxy", abbr="HPGMG-amry",
+        footprint_bytes=int(7.7 * GB),
+        n_kernels=6, coverage=1.2, max_accesses=90_000,
+        shared_page_frac=0.42, shared_access_frac=0.40,
+        rw_page_frac=0.92, line_write_frac=0.08, write_frac=0.22,
+        private_pattern="stencil", shared_pattern="uniform",
+        instr_per_access=8.0, concurrency_per_sm=32.0, seed=103,
+    ),
+    _hpc(
+        name="Lulesh-Unstruct-Mesh1", abbr="Lulesh", footprint_bytes=24 * MB,
+        n_kernels=8, coverage=2.0, min_accesses=12_000,
+        shared_page_frac=0.70, shared_access_frac=0.80,
+        rw_page_frac=0.90, line_write_frac=0.12, write_frac=0.25,
+        shared_write_frac=0.06,
+        private_pattern="strided", shared_pattern="uniform",
+        instr_per_access=6.0, concurrency_per_sm=32.0, seed=104,
+    ),
+    _hpc(
+        name="Lulesh-s190", abbr="Lulesh-s190",
+        footprint_bytes=int(3.7 * GB),
+        n_kernels=4, coverage=1.2,
+        shared_page_frac=0.10, shared_access_frac=0.08,
+        rw_page_frac=0.50, line_write_frac=0.10, write_frac=0.25,
+        private_pattern="stencil", shared_pattern="uniform",
+        instr_per_access=40.0, concurrency_per_sm=48.0, seed=105,
+    ),
+    _hpc(
+        name="CoMD-xyz64_warp", abbr="CoMD", footprint_bytes=910 * MB,
+        n_kernels=6, coverage=1.5,
+        shared_page_frac=0.08, shared_access_frac=0.06,
+        rw_page_frac=0.50, line_write_frac=0.10, write_frac=0.20,
+        private_pattern="stencil", shared_pattern="uniform",
+        instr_per_access=120.0, concurrency_per_sm=48.0, seed=106,
+    ),
+    _hpc(
+        name="MCB-5M-particles", abbr="MCB", footprint_bytes=254 * MB,
+        n_kernels=8, coverage=2.0,
+        shared_page_frac=0.50, shared_access_frac=0.35,
+        rw_page_frac=0.80, line_write_frac=0.08, write_frac=0.18,
+        private_pattern="uniform", shared_pattern="uniform",
+        instr_per_access=9.0, concurrency_per_sm=32.0, seed=107,
+    ),
+    _hpc(
+        name="MiniAMR-15Kv40", abbr="MiniAMR", footprint_bytes=int(4.4 * GB),
+        n_kernels=6, coverage=0.8,
+        shared_page_frac=0.40, shared_access_frac=0.35,
+        rw_page_frac=0.0, line_write_frac=0.0, write_frac=0.20,
+        private_pattern="stencil", shared_pattern="stencil",
+        instr_per_access=9.0, concurrency_per_sm=40.0, seed=108,
+    ),
+    _hpc(
+        name="Nekbone-18", abbr="Nekbone", footprint_bytes=1 * GB,
+        n_kernels=6, coverage=1.5,
+        shared_page_frac=0.06, shared_access_frac=0.05,
+        rw_page_frac=0.50, line_write_frac=0.10, write_frac=0.20,
+        private_pattern="strided", shared_pattern="uniform",
+        instr_per_access=150.0, concurrency_per_sm=48.0, seed=109,
+    ),
+    _hpc(
+        name="XSBench_17K_grid", abbr="XSBench", footprint_bytes=int(4.4 * GB),
+        n_kernels=4, coverage=3.0, max_accesses=100_000,
+        shared_page_frac=0.80, shared_access_frac=0.80,
+        rw_page_frac=0.85, line_write_frac=0.05, write_frac=0.10,
+        shared_write_frac=0.02,
+        private_pattern="uniform", shared_pattern="zipf", zipf_alpha=1.35,
+        instr_per_access=5.0, concurrency_per_sm=40.0, seed=110,
+    ),
+    _hpc(
+        name="Euler3D", abbr="Euler", footprint_bytes=26 * MB,
+        n_kernels=10, coverage=0.9, min_accesses=6_000,
+        shared_page_frac=0.60, shared_access_frac=0.45,
+        rw_page_frac=0.80, line_write_frac=0.10, write_frac=0.25,
+        private_pattern="strided", shared_pattern="stencil",
+        instr_per_access=7.0, concurrency_per_sm=32.0, seed=111,
+    ),
+    _hpc(
+        name="SSSP", abbr="SSSP", footprint_bytes=42 * MB,
+        n_kernels=8, coverage=2.0, min_accesses=12_000,
+        shared_page_frac=0.60, shared_access_frac=0.50,
+        rw_page_frac=0.90, line_write_frac=0.15, write_frac=0.20,
+        shared_write_frac=0.08,
+        private_pattern="uniform", shared_pattern="uniform",
+        instr_per_access=5.0, concurrency_per_sm=24.0, seed=112,
+    ),
+    _hpc(
+        name="bfs-road-usa", abbr="bfs-road", footprint_bytes=590 * MB,
+        n_kernels=8, coverage=2.5,
+        shared_page_frac=0.55, shared_access_frac=0.45,
+        rw_page_frac=0.0, line_write_frac=0.0, write_frac=0.12,
+        private_pattern="uniform", shared_pattern="uniform",
+        instr_per_access=6.0, concurrency_per_sm=24.0, seed=113,
+    ),
+    # ---- ML -----------------------------------------------------------
+    _ml(
+        name="AlexNet-ConvNet2", abbr="AlexNet", footprint_bytes=96 * MB,
+        n_kernels=6, coverage=1.5,
+        shared_page_frac=0.10, shared_access_frac=0.08,
+        rw_page_frac=0.20, line_write_frac=0.05, write_frac=0.20,
+        private_pattern="stream", shared_pattern="uniform",
+        instr_per_access=300.0, concurrency_per_sm=64.0, seed=114,
+    ),
+    _ml(
+        name="GoogLeNet-cudnn-Lev2", abbr="GoogLeNet",
+        footprint_bytes=int(1.2 * GB),
+        n_kernels=6, coverage=1.3,
+        shared_page_frac=0.10, shared_access_frac=0.08,
+        rw_page_frac=0.20, line_write_frac=0.05, write_frac=0.20,
+        private_pattern="stream", shared_pattern="uniform",
+        instr_per_access=250.0, concurrency_per_sm=64.0, seed=115,
+    ),
+    _ml(
+        name="OverFeat-cudnn-Lev3", abbr="OverFeat", footprint_bytes=88 * MB,
+        n_kernels=6, coverage=1.5,
+        shared_page_frac=0.10, shared_access_frac=0.08,
+        rw_page_frac=0.20, line_write_frac=0.05, write_frac=0.20,
+        private_pattern="stream", shared_pattern="uniform",
+        instr_per_access=280.0, concurrency_per_sm=64.0, seed=116,
+    ),
+    # ---- Other ---------------------------------------------------------
+    _other(
+        name="Bitcoin-Crypto", abbr="Bitcoin", footprint_bytes=int(5.6 * GB),
+        n_kernels=4, coverage=1.0,
+        shared_page_frac=0.04, shared_access_frac=0.02,
+        rw_page_frac=0.30, line_write_frac=0.05, write_frac=0.10,
+        private_pattern="uniform", shared_pattern="uniform",
+        instr_per_access=500.0, concurrency_per_sm=64.0, seed=117,
+    ),
+    _other(
+        name="Optix-Raytracing", abbr="Raytracing", footprint_bytes=150 * MB,
+        n_kernels=6, coverage=2.0,
+        shared_page_frac=0.60, shared_access_frac=0.65,
+        rw_page_frac=0.0, line_write_frac=0.0, write_frac=0.08,
+        private_pattern="uniform", shared_pattern="zipf", zipf_alpha=1.05,
+        instr_per_access=20.0, concurrency_per_sm=32.0, seed=118,
+    ),
+    _other(
+        name="stream-triad", abbr="stream-triad", footprint_bytes=3 * GB,
+        n_kernels=4, coverage=1.2,
+        shared_page_frac=0.02, shared_access_frac=0.01,
+        rw_page_frac=0.0, line_write_frac=0.0, write_frac=0.33,
+        private_pattern="stream", shared_pattern="uniform",
+        instr_per_access=4.0, concurrency_per_sm=64.0, seed=119,
+    ),
+    _other(
+        name="Random Memory Access", abbr="RandAccess",
+        footprint_bytes=15 * GB,
+        n_kernels=4, coverage=1.0, max_accesses=100_000,
+        shared_page_frac=1.0, shared_access_frac=0.95,
+        rw_page_frac=1.0, line_write_frac=1.0, write_frac=0.25,
+        private_pattern="uniform", shared_pattern="uniform",
+        shared_write_frac=0.25,
+        instr_per_access=2.0, concurrency_per_sm=4.0,
+        cold_page_frac=0.0, seed=120,
+    ),
+)
+
+#: abbr -> spec lookup.
+BY_ABBR: dict[str, WorkloadSpec] = {w.abbr: w for w in SUITE}
+
+#: The paper-reported behaviour group of each workload.
+GROUPS: dict[str, str] = {
+    "CoMD": GROUP_LOW_NUMA,
+    "Nekbone": GROUP_LOW_NUMA,
+    "AlexNet": GROUP_LOW_NUMA,
+    "GoogLeNet": GROUP_LOW_NUMA,
+    "OverFeat": GROUP_LOW_NUMA,
+    "Bitcoin": GROUP_LOW_NUMA,
+    "stream-triad": GROUP_LOW_NUMA,
+    "Lulesh-s190": GROUP_LOW_NUMA,
+    "Raytracing": GROUP_RO_FIXED,
+    "bfs-road": GROUP_RO_FIXED,
+    "MiniAMR": GROUP_RO_FIXED,
+    "AMG": GROUP_RW_SHARED,
+    "HPGMG": GROUP_RW_SHARED,
+    "HPGMG-amry": GROUP_RW_SHARED,
+    "Lulesh": GROUP_RW_SHARED,
+    "MCB": GROUP_RW_SHARED,
+    "XSBench": GROUP_RW_SHARED,
+    "Euler": GROUP_RW_SHARED,
+    "SSSP": GROUP_RW_SHARED,
+    "RandAccess": GROUP_LATENCY,
+}
+
+
+def get(abbr: str) -> WorkloadSpec:
+    """Look up a workload by its Table II abbreviation."""
+    try:
+        return BY_ABBR[abbr]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {abbr!r}; known: {sorted(BY_ABBR)}"
+        ) from None
+
+
+def all_abbrs() -> list[str]:
+    return [w.abbr for w in SUITE]
+
+
+def table2_rows() -> list[tuple[str, str, str, str]]:
+    """(suite, benchmark, abbr, footprint) rows reproducing Table II."""
+    rows = []
+    for w in SUITE:
+        if w.footprint_bytes >= GB:
+            fp = f"{w.footprint_bytes / GB:.1f} GB"
+        else:
+            fp = f"{w.footprint_bytes / MB:.0f} MB"
+        rows.append((w.suite, w.name, w.abbr, fp))
+    return rows

@@ -1,0 +1,100 @@
+"""Workload trace validation.
+
+Synthetic workloads are only as good as their calibration, so this module
+measures a generated trace against its spec's knobs and reports the
+deviations: footprint, shared-access fraction, write fractions, and the
+page-level sharing mix.  The test suite uses it to pin every Table II
+workload to its published characteristics, and it is the tool to reach
+for when adding a new workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.sharing import profile_sharing
+from repro.config import SystemConfig
+from repro.gpu.cta import WorkloadTrace
+from repro.workloads.base import WorkloadSpec, _resolve_layout, generate_trace
+
+
+@dataclass
+class ValidationReport:
+    """Measured characteristics of a generated trace vs. its spec."""
+
+    workload: str
+    footprint_lines: int
+    expected_footprint_lines: int
+    shared_access_frac: float
+    expected_shared_access_frac: float
+    write_frac: float
+    page_rw_access_frac: float
+    line_rw_access_frac: float
+
+    @property
+    def footprint_error(self) -> float:
+        if not self.expected_footprint_lines:
+            return 0.0
+        return (
+            abs(self.footprint_lines - self.expected_footprint_lines)
+            / self.expected_footprint_lines
+        )
+
+    @property
+    def shared_access_error(self) -> float:
+        return abs(self.shared_access_frac - self.expected_shared_access_frac)
+
+    def ok(self, footprint_tol: float = 0.25, shared_tol: float = 0.08) -> bool:
+        """Whether the trace is within tolerance of its spec."""
+        return (
+            self.footprint_error <= footprint_tol
+            and self.shared_access_error <= shared_tol
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.workload}: footprint {self.footprint_lines} lines "
+            f"(expected {self.expected_footprint_lines}, "
+            f"err {self.footprint_error:.1%}); "
+            f"shared accesses {self.shared_access_frac:.1%} "
+            f"(expected {self.expected_shared_access_frac:.1%}); "
+            f"writes {self.write_frac:.1%}; "
+            f"page-RW {self.page_rw_access_frac:.1%} vs "
+            f"line-RW {self.line_rw_access_frac:.1%}"
+        )
+
+
+def validate_trace(
+    spec: WorkloadSpec,
+    config: SystemConfig,
+    trace: WorkloadTrace | None = None,
+) -> ValidationReport:
+    """Measure *trace* (generated if omitted) against *spec*'s knobs."""
+    if trace is None:
+        trace = generate_trace(spec, config)
+    layout = _resolve_layout(spec, config)
+    all_lines = np.concatenate([k.lines for k in trace.kernels])
+    all_writes = np.concatenate([k.is_write for k in trace.kernels])
+    shared = all_lines >= layout.shared_start
+    profile = profile_sharing(trace, config)
+    page_dist = profile.access_distribution("page")
+    line_dist = profile.access_distribution("line")
+    return ValidationReport(
+        workload=spec.abbr,
+        footprint_lines=int(len(np.unique(all_lines))),
+        expected_footprint_lines=layout.footprint_lines,
+        shared_access_frac=float(shared.mean()),
+        expected_shared_access_frac=spec.shared_access_frac,
+        write_frac=float(all_writes.mean()),
+        page_rw_access_frac=page_dist.rw_shared,
+        line_rw_access_frac=line_dist.rw_shared,
+    )
+
+
+def validate_suite(
+    specs, config: SystemConfig
+) -> dict[str, ValidationReport]:
+    """Validate many specs; returns abbr -> report."""
+    return {spec.abbr: validate_trace(spec, config) for spec in specs}

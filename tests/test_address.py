@@ -1,0 +1,95 @@
+"""Tests for repro.memory.address."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import LINE_BYTES
+from repro.memory.address import AddressMap, bytes_to_lines, lines_to_bytes
+
+
+@pytest.fixture
+def amap() -> AddressMap:
+    return AddressMap(lines_per_page=16, n_channels=8, row_bytes=2048)
+
+
+class TestAddressMap:
+    def test_page_of_first_page(self, amap):
+        assert amap.page_of(0) == 0
+        assert amap.page_of(15) == 0
+
+    def test_page_of_boundary(self, amap):
+        assert amap.page_of(16) == 1
+
+    def test_first_line_roundtrip(self, amap):
+        assert amap.first_line_of_page(3) == 48
+        assert amap.page_of(amap.first_line_of_page(3)) == 3
+
+    def test_offset_in_page(self, amap):
+        assert amap.line_offset_in_page(19) == 3
+
+    def test_channel_interleave(self, amap):
+        assert [amap.channel_of(i) for i in range(10)] == [
+            0, 1, 2, 3, 4, 5, 6, 7, 0, 1,
+        ]
+
+    def test_lines_per_row(self, amap):
+        assert amap.lines_per_row == 2048 // LINE_BYTES
+
+    def test_row_of_groups_channel_consecutive_lines(self, amap):
+        # Lines 0 and 8 are consecutive on channel 0 and share a row.
+        assert amap.row_of(0) == amap.row_of(8)
+
+    def test_row_changes_after_row_capacity(self, amap):
+        stride = amap.n_channels
+        lines_same_row = amap.lines_per_row
+        assert amap.row_of(0) != amap.row_of(stride * lines_same_row)
+
+    def test_lines_of_page(self, amap):
+        lines = list(amap.lines_of_page(2))
+        assert lines[0] == 32 and lines[-1] == 47 and len(lines) == 16
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMap(lines_per_page=0, n_channels=8, row_bytes=2048)
+        with pytest.raises(ValueError):
+            AddressMap(lines_per_page=16, n_channels=0, row_bytes=2048)
+        with pytest.raises(ValueError):
+            AddressMap(lines_per_page=16, n_channels=8, row_bytes=64)
+
+
+class TestByteHelpers:
+    def test_bytes_to_lines_exact(self):
+        assert bytes_to_lines(LINE_BYTES * 5) == 5
+
+    def test_bytes_to_lines_rounds_up(self):
+        assert bytes_to_lines(LINE_BYTES + 1) == 2
+
+    def test_bytes_to_lines_zero(self):
+        assert bytes_to_lines(0) == 0
+
+    def test_bytes_to_lines_subline(self):
+        assert bytes_to_lines(1) == 1
+
+    def test_lines_to_bytes(self):
+        assert lines_to_bytes(7) == 7 * LINE_BYTES
+
+
+class TestAddressProperties:
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_page_offset_reconstructs_line(self, line):
+        amap = AddressMap(lines_per_page=16, n_channels=8, row_bytes=2048)
+        page = amap.page_of(line)
+        off = amap.line_offset_in_page(line)
+        assert amap.first_line_of_page(page) + off == line
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_channel_in_range(self, line):
+        amap = AddressMap(lines_per_page=16, n_channels=8, row_bytes=2048)
+        assert 0 <= amap.channel_of(line) < 8
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_bytes_lines_roundtrip_lower_bound(self, n_bytes):
+        n = bytes_to_lines(n_bytes)
+        assert lines_to_bytes(n) >= n_bytes
+        assert lines_to_bytes(n) - n_bytes < LINE_BYTES

@@ -1,0 +1,105 @@
+"""Tests for the bottleneck/traffic diagnostics."""
+
+import pytest
+
+from repro.analysis.bottleneck import (
+    BottleneckReport,
+    analyze,
+    render,
+    traffic_breakdown,
+)
+from repro.config import COHERENCE_HARDWARE
+from repro.perf.stats import GpuKernelStats, KernelStats, RunResult
+from repro.sim.driver import run_workload
+from repro.workloads.base import WorkloadSpec
+from tests.conftest import small_config
+
+
+def fast_spec(**kw):
+    base = dict(
+        name="diag", abbr="diag", suite="HPC",
+        footprint_bytes=2**20 * 1024,
+        n_kernels=2, warmup_kernels=1, n_ctas=8,
+        coverage=0.5, min_accesses=1500, max_accesses=2500,
+        shared_page_frac=0.5, shared_access_frac=0.5,
+        rw_page_frac=0.8,
+    )
+    base.update(kw)
+    return WorkloadSpec(**base)
+
+
+class TestTrafficBreakdown:
+    def test_empty_run(self):
+        r = RunResult("wl", "cfg", 2)
+        tb = traffic_breakdown(r)
+        assert tb.accesses == 0
+
+    def test_fractions_from_counters(self):
+        r = RunResult("wl", "cfg", 1)
+        ks = KernelStats(0, 1, 1.0, 32.0)
+        ks.gpus[0] = GpuKernelStats(
+            accesses=10, l1_hits=2, l2_hits=1,
+            local_reads=4, local_writes=0, rdc_hits=1,
+            remote_reads=2, remote_writes=1,
+        )
+        r.kernels = [ks]
+        tb = traffic_breakdown(r)
+        assert tb.l1_hits == pytest.approx(0.2)
+        assert tb.rdc_hits == pytest.approx(0.1)
+        assert tb.local_dram == pytest.approx(0.3)
+        assert tb.remote == pytest.approx(0.3)
+
+    def test_real_run_fractions_cover_all_accesses(self):
+        cfg = small_config().with_rdc(coherence=COHERENCE_HARDWARE)
+        r = run_workload(fast_spec(), cfg, use_cache=False)
+        tb = traffic_breakdown(r)
+        covered = sum(tb.as_dict().values())
+        assert 0.9 < covered <= 1.01
+
+
+class TestAnalyze:
+    def test_report_fields(self):
+        cfg = small_config()
+        r = run_workload(fast_spec(), cfg, use_cache=False)
+        report = analyze(r, cfg)
+        assert report.total_time_s > 0
+        assert sum(report.bottlenecks.values()) == 2 * cfg.n_gpus
+        assert report.dominant_bottleneck in (
+            "compute", "local_dram", "link", "latency"
+        )
+        assert report.dram_bytes > 0
+
+    def test_shared_workload_is_link_bound_on_baseline(self):
+        cfg = small_config()
+        spec = fast_spec(shared_access_frac=0.8, instr_per_access=4.0)
+        report = analyze(run_workload(spec, cfg, use_cache=False), cfg)
+        assert report.dominant_bottleneck == "link"
+        assert report.busiest_link_bytes > 0
+
+    def test_compute_workload_is_compute_bound(self):
+        cfg = small_config()
+        spec = fast_spec(shared_access_frac=0.02, instr_per_access=400.0)
+        report = analyze(run_workload(spec, cfg, use_cache=False), cfg)
+        assert report.dominant_bottleneck == "compute"
+
+    def test_invalidates_counted_under_hwc(self):
+        cfg = small_config().with_rdc(coherence=COHERENCE_HARDWARE)
+        spec = fast_spec(shared_write_frac=0.2, line_write_frac=0.3)
+        report = analyze(run_workload(spec, cfg, use_cache=False), cfg)
+        assert report.invalidates > 0
+
+
+class TestRender:
+    def test_render_contains_key_fields(self):
+        report = BottleneckReport(
+            workload="wl", config_label="cfg", total_time_s=1e-6,
+            bottlenecks={"link": 4},
+        )
+        text = render(report)
+        assert "wl on cfg" in text
+        assert "link" in text
+        assert "demand access mix" in text
+
+    def test_dominant_of_empty_report(self):
+        report = BottleneckReport("w", "c", 0.0)
+        assert report.dominant_bottleneck == "idle"

@@ -1,0 +1,229 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import SetAssociativeCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = SetAssociativeCache(16, 4)
+        assert not c.lookup(5)
+        c.insert(5)
+        assert c.lookup(5)
+
+    def test_counters(self):
+        c = SetAssociativeCache(16, 4)
+        c.lookup(1)
+        c.insert(1)
+        c.lookup(1)
+        assert c.misses == 1 and c.hits == 1
+        assert c.hit_rate == 0.5
+
+    def test_contains_no_side_effects(self):
+        c = SetAssociativeCache(16, 4)
+        c.insert(3)
+        hits, misses = c.hits, c.misses
+        assert c.contains(3)
+        assert not c.contains(4)
+        assert (c.hits, c.misses) == (hits, misses)
+
+    def test_len_counts_resident_lines(self):
+        c = SetAssociativeCache(16, 4)
+        for i in range(5):
+            c.insert(i)
+        assert len(c) == 5
+
+    def test_iteration_yields_resident_lines(self):
+        c = SetAssociativeCache(16, 4)
+        for i in (1, 2, 17):
+            c.insert(i)
+        assert sorted(c) == [1, 2, 17]
+
+    def test_set_mapping(self):
+        c = SetAssociativeCache(16, 4)  # 4 sets
+        assert c.n_sets == 4
+        # Lines 0 and 4 share set 0; fill it and check independence.
+        for line in (0, 4, 8, 12):
+            c.insert(line)
+        c.insert(1)  # set 1 unaffected
+        assert all(c.contains(x) for x in (0, 4, 8, 12, 1))
+
+    def test_reset_counters(self):
+        c = SetAssociativeCache(16, 4)
+        c.lookup(1)
+        c.reset_counters()
+        assert c.hits == 0 and c.misses == 0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 4)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(16, 0)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(15, 4)
+
+    def test_small_cache_degenerates_to_full_assoc(self):
+        c = SetAssociativeCache(2, 8)
+        assert c.ways == 2 and c.n_sets == 1
+
+
+class TestLru:
+    def test_lru_eviction_order(self):
+        c = SetAssociativeCache(4, 4)  # one set, 4 ways
+        for line in (0, 1, 2, 3):
+            c.insert(line)
+        victim = c.insert(4)
+        assert victim is not None and victim.line == 0
+
+    def test_lookup_refreshes_recency(self):
+        c = SetAssociativeCache(4, 4)
+        for line in (0, 1, 2, 3):
+            c.insert(line)
+        c.lookup(0)  # 0 becomes MRU; 1 is now LRU
+        victim = c.insert(4)
+        assert victim.line == 1
+
+    def test_reinsert_refreshes_recency(self):
+        c = SetAssociativeCache(4, 4)
+        for line in (0, 1, 2, 3):
+            c.insert(line)
+        c.insert(0)
+        victim = c.insert(4)
+        assert victim.line == 1
+
+    def test_lookup_without_lru_update(self):
+        c = SetAssociativeCache(4, 4)
+        for line in (0, 1, 2, 3):
+            c.insert(line)
+        c.lookup(0, update_lru=False)
+        victim = c.insert(4)
+        assert victim.line == 0
+
+    def test_insert_returns_none_without_eviction(self):
+        c = SetAssociativeCache(4, 4)
+        assert c.insert(0) is None
+
+
+class TestDirtyAndRemote:
+    def test_insert_dirty(self):
+        c = SetAssociativeCache(4, 4)
+        c.insert(1, dirty=True)
+        victim_gen = c.invalidate_line(1)
+        assert victim_gen.dirty
+
+    def test_reinsert_ors_dirty(self):
+        c = SetAssociativeCache(4, 4)
+        c.insert(1, dirty=True)
+        c.insert(1, dirty=False)
+        assert c.invalidate_line(1).dirty
+
+    def test_mark_dirty_present(self):
+        c = SetAssociativeCache(4, 4)
+        c.insert(2)
+        assert c.mark_dirty(2)
+        assert c.invalidate_line(2).dirty
+
+    def test_mark_dirty_absent(self):
+        c = SetAssociativeCache(4, 4)
+        assert not c.mark_dirty(9)
+
+    def test_eviction_carries_dirty_state(self):
+        c = SetAssociativeCache(4, 4)
+        c.insert(0, dirty=True)
+        for line in (1, 2, 3):
+            c.insert(line)
+        victim = c.insert(4)
+        assert victim.line == 0 and victim.dirty
+
+    def test_remote_flag_tracked(self):
+        c = SetAssociativeCache(4, 4)
+        c.insert(1, remote=True)
+        c.insert(2, remote=False)
+        assert c.invalidate_line(1).remote
+        assert not c.invalidate_line(2).remote
+
+
+class TestBulkOps:
+    def test_invalidate_all_returns_dirty(self):
+        c = SetAssociativeCache(8, 4)
+        c.insert(1, dirty=True)
+        c.insert(2)
+        c.insert(3, dirty=True)
+        dirty = c.invalidate_all()
+        assert sorted(e.line for e in dirty) == [1, 3]
+        assert len(c) == 0
+
+    def test_invalidate_remote_keeps_local(self):
+        c = SetAssociativeCache(8, 4)
+        c.insert(1, remote=True)
+        c.insert(2, remote=False)
+        dropped = c.invalidate_remote()
+        assert dropped == 1
+        assert not c.contains(1) and c.contains(2)
+
+    def test_flush_dirty_cleans_but_keeps_lines(self):
+        c = SetAssociativeCache(8, 4)
+        c.insert(1, dirty=True)
+        c.insert(2)
+        flushed = c.flush_dirty()
+        assert [e.line for e in flushed] == [1]
+        assert c.contains(1)
+        # Second flush finds nothing.
+        assert c.flush_dirty() == []
+
+    def test_invalidate_line_absent_returns_none(self):
+        c = SetAssociativeCache(8, 4)
+        assert c.invalidate_line(99) is None
+
+
+class TestCacheProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=200), max_size=300))
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        c = SetAssociativeCache(16, 4)
+        for line in lines:
+            c.insert(line)
+        assert len(c) <= 16
+        for s in c._sets:
+            assert len(s) <= c.ways
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=200), max_size=300))
+    def test_resident_lines_map_to_their_set(self, lines):
+        c = SetAssociativeCache(16, 4)
+        for line in lines:
+            c.insert(line)
+        for i, s in enumerate(c._sets):
+            for line in s:
+                assert line % c.n_sets == i
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=200))
+    def test_most_recent_insert_is_resident(self, lines):
+        c = SetAssociativeCache(8, 2)
+        for line in lines:
+            c.insert(line)
+            assert c.contains(line)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=60), st.booleans()
+            ),
+            max_size=200,
+        )
+    )
+    def test_hits_plus_misses_equals_lookups(self, ops):
+        c = SetAssociativeCache(8, 4)
+        lookups = 0
+        for line, do_insert in ops:
+            if do_insert:
+                c.insert(line)
+            else:
+                c.lookup(line)
+                lookups += 1
+        assert c.hits + c.misses == lookups

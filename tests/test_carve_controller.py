@@ -1,0 +1,91 @@
+"""Tests for the CARVE memory-controller front-end."""
+
+import pytest
+
+from repro.config import WRITE_BACK, WRITE_THROUGH, RdcConfig
+from repro.core.carve import RDC_BYPASS, RDC_HIT, RDC_MISS, CarveController
+
+
+def controller(**rdc_kw) -> CarveController:
+    return CarveController(gpu_id=0, n_lines=64, config=RdcConfig(**rdc_kw))
+
+
+class TestReadPath:
+    def test_miss_probes_and_fills(self):
+        c = controller()
+        out = c.remote_read(5)
+        assert out.kind == RDC_MISS and out.probed and out.filled
+
+    def test_hit_after_fill(self):
+        c = controller()
+        c.remote_read(5)
+        out = c.remote_read(5)
+        assert out.kind == RDC_HIT and out.probed and not out.filled
+
+    def test_no_predictor_by_default(self):
+        assert controller().predictor is None
+
+
+class TestPredictorPath:
+    def test_bypass_after_learning(self):
+        c = controller(hit_predictor=True)
+        # Region 0 misses repeatedly: lines 0..9 are distinct, all miss.
+        kinds = [c.remote_read(line).kind for line in range(10)]
+        assert RDC_BYPASS in kinds
+
+    def test_bypass_still_fills(self):
+        c = controller(hit_predictor=True)
+        for line in range(10):
+            out = c.remote_read(line)
+            if out.kind == RDC_BYPASS:
+                assert out.filled and not out.probed
+                # The fill is usable on the next access.
+                assert c.rdc.contains(line)
+                return
+        pytest.fail("predictor never learned to bypass")
+
+    def test_predictor_trains_on_probes(self):
+        c = controller(hit_predictor=True)
+        c.remote_read(5)
+        c.remote_read(5)
+        assert c.predictor.stats.predictions == 2
+
+
+class TestWritePath:
+    def test_write_through_updates_but_never_defers(self):
+        c = controller(write_policy=WRITE_THROUGH)
+        c.remote_read(5)
+        assert c.remote_write(5)
+        assert not c.defers_home_writes
+
+    def test_write_back_defers(self):
+        c = controller(write_policy=WRITE_BACK)
+        c.remote_read(5)
+        assert c.remote_write(5)
+        assert c.defers_home_writes
+        assert c.rdc.dirty_lines() == [5]
+
+    def test_write_miss_updates_nothing(self):
+        c = controller()
+        assert not c.remote_write(9)
+
+
+class TestCoherenceHooks:
+    def test_invalidate(self):
+        c = controller()
+        c.remote_read(5)
+        assert c.invalidate(5)
+        assert c.remote_read(5).kind == RDC_MISS
+
+    def test_kernel_boundary_epoch_invalidation(self):
+        c = controller()
+        c.remote_read(5)
+        flushed = c.kernel_boundary()
+        assert flushed == 0  # write-through: nothing dirty
+        assert c.remote_read(5).kind == RDC_MISS
+
+    def test_kernel_boundary_flushes_write_back(self):
+        c = controller(write_policy=WRITE_BACK)
+        c.remote_read(5)
+        c.remote_write(5)
+        assert c.kernel_boundary() == 1

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "DOOM"])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "Lulesh", "--system", "magic"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "Lulesh"])
+        assert args.system == "carve-hwc"
+        assert not args.no_cache
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "RandAccess" in out and "rw-shared" in out
+
+    def test_configs(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "carve-hwc" in out and "ideal" in out
+
+    def test_sharing(self, capsys):
+        assert main(["sharing", "Lulesh"]) == 0
+        out = capsys.readouterr().out
+        assert "rw-shared" in out
+        assert "shared working-set cover" in out
+
+    def test_cache_status(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache"]) == 0
+        assert "cached run(s)" in capsys.readouterr().out
+
+    def test_cache_clear(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        (tmp_path / "x.pkl").write_bytes(b"x")
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        assert main(["cache", "--clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_run_end_to_end(self, capsys):
+        # Lulesh is the smallest trace in the suite; no-cache keeps the
+        # test hermetic.
+        assert main(["run", "Lulesh", "--system", "numa-gpu",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Lulesh on numa-gpu" in out
+        assert "demand access mix" in out

@@ -1,0 +1,126 @@
+"""Tests for the coherence protocol implementations."""
+
+import pytest
+
+from repro.config import (
+    COHERENCE_DIRECTORY,
+    COHERENCE_HARDWARE,
+    COHERENCE_NONE,
+    COHERENCE_SOFTWARE,
+    RdcConfig,
+)
+from repro.core.coherence import (
+    DirectoryCoherence,
+    HardwareCoherence,
+    NoCoherence,
+    SoftwareCoherence,
+    make_protocol,
+)
+
+
+class TestFactory:
+    def test_makes_every_protocol(self):
+        assert isinstance(make_protocol(COHERENCE_NONE, 4), NoCoherence)
+        assert isinstance(make_protocol(COHERENCE_SOFTWARE, 4), SoftwareCoherence)
+        assert isinstance(
+            make_protocol(COHERENCE_HARDWARE, 4, RdcConfig()), HardwareCoherence
+        )
+        assert isinstance(make_protocol(COHERENCE_DIRECTORY, 4), DirectoryCoherence)
+
+    def test_hardware_requires_config(self):
+        with pytest.raises(ValueError):
+            make_protocol(COHERENCE_HARDWARE, 4)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_protocol("gossip", 4)
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ValueError):
+            NoCoherence(0)
+
+
+class TestFlushSemantics:
+    def test_only_software_flushes_rdc(self):
+        assert SoftwareCoherence(4).flush_rdc_at_kernel_boundary
+        assert not NoCoherence(4).flush_rdc_at_kernel_boundary
+        assert not HardwareCoherence(4, RdcConfig()).flush_rdc_at_kernel_boundary
+        assert not DirectoryCoherence(4).flush_rdc_at_kernel_boundary
+
+
+class TestNoAndSoftware:
+    def test_never_invalidate(self):
+        for proto in (NoCoherence(4), SoftwareCoherence(4)):
+            proto.note_remote_read(0, 1, 5)
+            assert proto.invalidation_targets(0, 1, 5) is None
+
+
+class TestHardware:
+    def test_private_write_silent(self):
+        p = HardwareCoherence(4, RdcConfig(imst_demote_prob=0.0))
+        assert p.invalidation_targets(0, 0, 5) is None
+
+    def test_shared_write_broadcasts_to_all_but_writer(self):
+        p = HardwareCoherence(4, RdcConfig(imst_demote_prob=0.0))
+        p.note_remote_read(0, 1, 5)  # line 5 at home 0 read by GPU 1
+        p.note_remote_read(0, 2, 5)
+        targets = p.invalidation_targets(0, 0, 5)
+        assert targets == [1, 2, 3]
+
+    def test_private_owner_write_is_silent_even_remotely(self):
+        p = HardwareCoherence(4, RdcConfig(imst_demote_prob=0.0))
+        p.note_remote_read(0, 1, 5)  # private to GPU 1
+        assert p.invalidation_targets(0, 1, 5) is None
+
+    def test_writer_never_a_target(self):
+        p = HardwareCoherence(4, RdcConfig(imst_demote_prob=0.0))
+        p.note_remote_read(0, 1, 5)
+        p.note_remote_read(0, 2, 5)  # now read-shared
+        targets = p.invalidation_targets(0, 1, 5)
+        assert targets is not None and 1 not in targets
+
+    def test_per_home_imst_instances(self):
+        p = HardwareCoherence(4, RdcConfig(imst_demote_prob=0.0))
+        p.note_remote_read(0, 1, 5)
+        # Same line number at a different home node is independent.
+        assert p.invalidation_targets(2, 2, 5) is None
+
+
+class TestDirectory:
+    def test_no_sharers_no_invalidate(self):
+        p = DirectoryCoherence(4)
+        assert p.invalidation_targets(0, 0, 5) is None
+
+    def test_targets_only_actual_sharers(self):
+        p = DirectoryCoherence(4)
+        p.note_remote_read(0, 2, 5)
+        assert p.invalidation_targets(0, 0, 5) == [2]
+
+    def test_writer_excluded(self):
+        p = DirectoryCoherence(4)
+        p.note_remote_read(0, 2, 5)
+        assert p.invalidation_targets(0, 2, 5) is None
+
+    def test_note_invalidated_clears_sharers(self):
+        p = DirectoryCoherence(4)
+        p.note_remote_read(0, 2, 5)
+        p.note_invalidated(0, 5)
+        assert p.invalidation_targets(0, 0, 5) is None
+
+    def test_directory_entry_accounting(self):
+        p = DirectoryCoherence(4)
+        p.note_remote_read(0, 1, 5)
+        p.note_remote_read(0, 2, 6)
+        assert p.directory_entries(0) == 2
+        assert p.stats.entries_peak == 2
+
+    def test_targeted_traffic_less_than_broadcast(self):
+        """The Section V-E argument: directories send fewer messages."""
+        hw = HardwareCoherence(8, RdcConfig(imst_demote_prob=0.0))
+        dr = DirectoryCoherence(8)
+        for proto in (hw, dr):
+            proto.note_remote_read(0, 1, 5)
+        hw_targets = hw.invalidation_targets(0, 0, 5)
+        dr_targets = dr.invalidation_targets(0, 0, 5)
+        assert len(dr_targets) == 1
+        assert len(hw_targets) == 7

@@ -1,0 +1,208 @@
+"""Tests for repro.config: validation, scaling, constructors."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    COHERENCE_HARDWARE,
+    COHERENCE_NONE,
+    DEFAULT_SCALE,
+    LINE_BYTES,
+    WRITE_BACK,
+    WRITE_THROUGH,
+    ConfigError,
+    GpuConfig,
+    LinkConfig,
+    MemoryConfig,
+    RdcConfig,
+    SystemConfig,
+    baseline_config,
+    carve_config,
+)
+
+
+class TestDefaults:
+    def test_table3_gpu_count(self):
+        assert SystemConfig().n_gpus == 4
+
+    def test_table3_page_size(self):
+        assert SystemConfig().page_bytes == 2 * 2**20
+
+    def test_table3_sms(self):
+        cfg = SystemConfig()
+        assert cfg.gpu.n_sms * cfg.n_gpus == 256
+
+    def test_table3_link_bandwidth(self):
+        assert SystemConfig().link.inter_gpu_bytes_per_s == 64e9
+
+    def test_table3_cpu_link_bandwidth(self):
+        assert SystemConfig().link.cpu_gpu_bytes_per_s == 32e9
+
+    def test_table3_memory_bandwidth_totals_4tbs(self):
+        cfg = SystemConfig()
+        assert cfg.memory.bandwidth_bytes_per_s * cfg.n_gpus == 4e12
+
+    def test_table3_memory_capacity_totals_128gb(self):
+        cfg = SystemConfig()
+        assert cfg.memory.capacity_bytes * cfg.n_gpus == 128 * 2**30
+
+    def test_table3_l2_totals_32mb(self):
+        cfg = SystemConfig()
+        assert cfg.gpu.l2_bytes * cfg.n_gpus == 32 * 2**20
+
+    def test_baseline_has_no_rdc(self):
+        assert not baseline_config().has_rdc
+
+    def test_default_validates(self):
+        SystemConfig().validate()
+
+
+class TestScaling:
+    def test_lines_per_page(self):
+        cfg = SystemConfig()
+        # 2 MB page / 1024 scale / 128 B lines = 16 lines.
+        assert cfg.lines_per_page == 16
+
+    def test_l2_lines(self):
+        cfg = SystemConfig()
+        assert cfg.l2_lines == 8 * 2**20 // DEFAULT_SCALE // LINE_BYTES
+
+    def test_rdc_lines_zero_without_rdc(self):
+        assert SystemConfig().rdc_lines == 0
+
+    def test_rdc_lines_2gb(self):
+        cfg = carve_config()
+        assert cfg.rdc_lines == 2 * 2**30 // DEFAULT_SCALE // LINE_BYTES
+
+    def test_scaled_bytes_floor_is_one_line(self):
+        cfg = SystemConfig()
+        assert cfg.scaled_bytes(1) == LINE_BYTES
+
+    def test_lines_never_zero(self):
+        cfg = SystemConfig()
+        assert cfg.lines(1) >= 1
+
+    def test_scale_one_is_identity(self):
+        cfg = SystemConfig().replace(scale=1)
+        assert cfg.lines_per_page == 2 * 2**20 // LINE_BYTES
+
+    def test_total_llc_bytes_is_unscaled(self):
+        cfg = SystemConfig()
+        assert cfg.total_llc_bytes == 32 * 2**20
+
+    def test_compute_rate(self):
+        cfg = SystemConfig()
+        assert cfg.compute_rate_per_gpu == 64 * 1e9
+
+
+class TestValidation:
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig().replace(n_gpus=0)
+
+    def test_bad_placement_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig().replace(placement="hottest-gpu")
+
+    def test_bad_replication_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig().replace(replication="sometimes")
+
+    def test_bad_scheduling_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig().replace(scheduling="random")
+
+    def test_page_smaller_than_line_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig().replace(page_bytes=64)
+
+    def test_page_not_line_multiple_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig().replace(page_bytes=LINE_BYTES * 3 + 1)
+
+    def test_zero_migration_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig().replace(migration_threshold=0)
+
+    def test_rdc_larger_than_memory_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig().with_rdc(64 * 2**30)
+
+    def test_bad_rdc_write_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            RdcConfig(write_policy="write-sometimes").validate()
+
+    def test_bad_coherence_rejected(self):
+        with pytest.raises(ConfigError):
+            RdcConfig(coherence="telepathy").validate()
+
+    def test_epoch_bits_bounds(self):
+        with pytest.raises(ConfigError):
+            RdcConfig(epoch_bits=0).validate()
+        with pytest.raises(ConfigError):
+            RdcConfig(epoch_bits=33).validate()
+
+    def test_imst_prob_bounds(self):
+        with pytest.raises(ConfigError):
+            RdcConfig(imst_demote_prob=1.5).validate()
+
+    def test_gpu_validation(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(n_sms=0).validate()
+        with pytest.raises(ConfigError):
+            GpuConfig(l1_ways=0).validate()
+
+    def test_memory_validation(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(capacity_bytes=0).validate()
+        with pytest.raises(ConfigError):
+            MemoryConfig(row_bytes=16).validate()
+
+    def test_link_validation(self):
+        with pytest.raises(ConfigError):
+            LinkConfig(inter_gpu_bytes_per_s=0).validate()
+        with pytest.raises(ConfigError):
+            LinkConfig(latency_ns=-1).validate()
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig().replace(scale=-4)
+
+
+class TestConstructors:
+    def test_carve_config_default_is_hwc(self):
+        cfg = carve_config()
+        assert cfg.rdc is not None
+        assert cfg.rdc.coherence == COHERENCE_HARDWARE
+
+    def test_carve_config_default_write_through(self):
+        assert carve_config().rdc.write_policy == WRITE_THROUGH
+
+    def test_carve_config_custom_coherence(self):
+        cfg = carve_config(coherence=COHERENCE_NONE)
+        assert cfg.rdc.coherence == COHERENCE_NONE
+
+    def test_carve_config_write_back(self):
+        cfg = carve_config(coherence=COHERENCE_NONE, write_policy=WRITE_BACK)
+        assert cfg.rdc.write_policy == WRITE_BACK
+
+    def test_single_gpu_strips_numa_machinery(self):
+        cfg = carve_config().single_gpu()
+        assert cfg.n_gpus == 1
+        assert cfg.rdc is None
+        assert not cfg.migration
+
+    def test_replace_returns_new_validated_object(self):
+        cfg = SystemConfig()
+        cfg2 = cfg.replace(n_gpus=8)
+        assert cfg.n_gpus == 4 and cfg2.n_gpus == 8
+
+    def test_config_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SystemConfig().n_gpus = 2
+
+    def test_with_rdc_preserves_base(self):
+        base = baseline_config(migration=True)
+        cfg = base.with_rdc(1 * 2**30)
+        assert cfg.migration and cfg.rdc.size_bytes == 2**30

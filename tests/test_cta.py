@@ -1,0 +1,73 @@
+"""Tests for kernel/workload trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.cta import KernelTrace, WorkloadTrace
+from tests.conftest import make_kernel, make_trace
+
+
+class TestKernelTrace:
+    def test_basic_properties(self):
+        k = make_kernel([1, 2, 3, 2], writes=[0, 1, 0, 0])
+        assert k.n_accesses == 4
+        assert k.n_writes == 1
+        assert k.footprint_lines() == 3
+
+    def test_total_instructions(self):
+        k = make_kernel([1, 2], instr_per_access=5.0)
+        assert k.total_instructions == 10.0
+
+    def test_arrays_coerced_to_dtypes(self):
+        k = make_kernel([1, 2])
+        assert k.lines.dtype == np.int64
+        assert k.cta_ids.dtype == np.int32
+        assert k.is_write.dtype == bool
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            KernelTrace(
+                kernel_id=0, n_ctas=2,
+                cta_ids=np.asarray([0]),
+                lines=np.asarray([1, 2]),
+                is_write=np.asarray([False, False]),
+            )
+
+    def test_cta_id_out_of_grid_rejected(self):
+        with pytest.raises(ValueError):
+            make_kernel([1, 2], cta_ids=[0, 9], n_ctas=2)
+
+    def test_zero_ctas_rejected(self):
+        with pytest.raises(ValueError):
+            make_kernel([1], n_ctas=0, cta_ids=[0])
+
+    def test_nonpositive_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            make_kernel([1], instr_per_access=0)
+        with pytest.raises(ValueError):
+            make_kernel([1], concurrency_per_sm=0)
+
+    def test_empty_kernel_allowed(self):
+        k = make_kernel([])
+        assert k.n_accesses == 0
+        assert k.footprint_lines() == 0
+
+    def test_warmup_default_false(self):
+        assert not make_kernel([1]).warmup
+
+
+class TestWorkloadTrace:
+    def test_counts(self):
+        t = make_trace([make_kernel([1, 2]), make_kernel([2, 3], kernel_id=1)])
+        assert t.n_kernels == 2
+        assert t.n_accesses == 4
+        assert t.footprint_lines() == 3
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace(name="empty", kernels=[])
+
+    def test_iteration(self):
+        ks = [make_kernel([1]), make_kernel([2], kernel_id=1)]
+        t = make_trace(ks)
+        assert list(t) == ks

@@ -1,0 +1,133 @@
+"""Tests for the DRAM channel model."""
+
+import pytest
+
+from repro.config import LINE_BYTES, MemoryConfig
+from repro.memory.address import AddressMap
+from repro.memory.dram import DramModel, DramStats
+
+
+def make_dram(n_channels=4, banks=2, row_bytes=1024):
+    cfg = MemoryConfig(
+        n_channels=n_channels, banks_per_channel=banks, row_bytes=row_bytes
+    )
+    amap = AddressMap(lines_per_page=16, n_channels=n_channels, row_bytes=row_bytes)
+    return DramModel(cfg, amap)
+
+
+class TestRowTracking:
+    def test_first_access_is_row_miss(self):
+        d = make_dram()
+        lat = d.access(0, False)
+        assert d.stats.row_misses == 1
+        assert lat == d.config.row_miss_latency_ns
+
+    def test_same_row_hit(self):
+        d = make_dram()
+        d.access(0, False)
+        # Line 8 shares channel 0 and bank 0 with line 0 (banks alternate
+        # every n_channels lines) and falls in the same open row.
+        lat = d.access(8, False)
+        assert d.stats.row_hits == 1
+        assert lat == d.config.row_hit_latency_ns
+
+    def test_different_channel_independent_rows(self):
+        d = make_dram()
+        d.access(0, False)
+        d.access(1, False)  # channel 1, first access = miss
+        assert d.stats.row_misses == 2
+
+    def test_row_conflict_reopens(self):
+        d = make_dram(n_channels=1, banks=1, row_bytes=256)  # 2 lines/row
+        d.access(0, False)
+        d.access(1, False)  # same row
+        d.access(2, False)  # next row -> miss
+        d.access(0, False)  # back -> miss again
+        assert d.stats.row_misses == 3
+        assert d.stats.row_hits == 1
+
+    def test_streaming_has_high_hit_rate(self):
+        d = make_dram(n_channels=1, banks=1, row_bytes=2048)  # 16 lines/row
+        for line in range(160):
+            d.access(line, False)
+        assert d.stats.row_hit_rate > 0.9
+
+
+class TestCounters:
+    def test_read_write_split(self):
+        d = make_dram()
+        d.access(0, False)
+        d.access(1, True)
+        d.access(2, True)
+        assert d.stats.reads == 1 and d.stats.writes == 2
+        assert d.stats.accesses == 3
+
+    def test_byte_accounting(self):
+        d = make_dram()
+        for i in range(5):
+            d.access(i, i % 2 == 0)
+        assert d.stats.total_bytes == 5 * LINE_BYTES
+        assert d.stats.read_bytes + d.stats.write_bytes == d.stats.total_bytes
+
+    def test_average_latency_between_hit_and_miss(self):
+        d = make_dram(n_channels=1, banks=1)
+        for line in range(20):
+            d.access(line, False)
+        assert (
+            d.config.row_hit_latency_ns
+            <= d.average_latency_ns
+            <= d.config.row_miss_latency_ns
+        )
+
+    def test_reset(self):
+        d = make_dram()
+        d.access(0, False)
+        d.reset()
+        assert d.stats.accesses == 0
+        assert d.latency_ns_total == 0
+        d.access(0, False)
+        assert d.stats.row_misses == 1  # rows closed again
+
+
+class TestEffectiveBandwidth:
+    def test_idle_returns_peak(self):
+        d = make_dram()
+        assert d.effective_bandwidth() == d.config.bandwidth_bytes_per_s
+
+    def test_streaming_reads_near_peak(self):
+        d = make_dram(n_channels=1, banks=1, row_bytes=2048)
+        for line in range(1600):
+            d.access(line, False)
+        assert d.effective_bandwidth() > 0.9 * d.config.bandwidth_bytes_per_s
+
+    def test_random_worse_than_streaming(self):
+        stream = make_dram(n_channels=1, banks=1, row_bytes=2048)
+        for line in range(200):
+            stream.access(line, False)
+        rand = make_dram(n_channels=1, banks=1, row_bytes=2048)
+        for line in range(200):
+            rand.access((line * 7919) % 100_000, False)
+        assert rand.effective_bandwidth() < stream.effective_bandwidth()
+
+    def test_mixed_write_turnaround_penalty(self):
+        reads = make_dram(n_channels=1, banks=1, row_bytes=2048)
+        mixed = make_dram(n_channels=1, banks=1, row_bytes=2048)
+        for line in range(200):
+            reads.access(line, False)
+            mixed.access(line, line % 2 == 0)
+        assert mixed.effective_bandwidth() < reads.effective_bandwidth()
+
+    def test_bandwidth_never_exceeds_peak(self):
+        d = make_dram()
+        for line in range(500):
+            d.access(line * 3, line % 3 == 0)
+        assert d.effective_bandwidth() <= d.config.bandwidth_bytes_per_s
+
+
+class TestStatsDataclass:
+    def test_hit_rate_empty(self):
+        assert DramStats().row_hit_rate == 0.0
+
+    def test_hit_rate(self):
+        s = DramStats(row_hits=3, row_misses=1)
+        assert s.row_hit_rate == pytest.approx(0.75)

@@ -1,0 +1,52 @@
+"""Tests for epoch-counter invalidation."""
+
+import pytest
+
+from repro.core.epoch import EpochCounters
+
+
+class TestEpochs:
+    def test_streams_start_at_zero(self):
+        e = EpochCounters()
+        assert e.current(0) == 0
+        assert e.current(7) == 0
+
+    def test_advance_increments(self):
+        e = EpochCounters()
+        assert not e.advance(0)
+        assert e.current(0) == 1
+
+    def test_streams_independent(self):
+        e = EpochCounters()
+        e.advance(0)
+        assert e.current(1) == 0
+
+    def test_is_current(self):
+        e = EpochCounters()
+        assert e.is_current(0, stream=0)
+        e.advance(0)
+        assert not e.is_current(0, stream=0)
+        assert e.is_current(1, stream=0)
+
+    def test_max_value_matches_bits(self):
+        assert EpochCounters(bits=20).max_value == (1 << 20) - 1
+
+    def test_rollover(self):
+        e = EpochCounters(bits=2)  # max 3
+        for _ in range(3):
+            assert not e.advance(0)
+        assert e.advance(0)  # 4th increment rolls over
+        assert e.current(0) == 0
+        assert e.rollovers == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            EpochCounters(bits=0)
+        with pytest.raises(ValueError):
+            EpochCounters(bits=40)
+
+    def test_many_advances_stay_in_range(self):
+        e = EpochCounters(bits=3)
+        for _ in range(100):
+            e.advance(0)
+            assert 0 <= e.current(0) <= e.max_value

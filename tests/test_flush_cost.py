@@ -1,0 +1,69 @@
+"""Tests for the Table IV flush-cost arithmetic."""
+
+import pytest
+
+from repro.analysis.flush_cost import (
+    llc_flush_cost,
+    rdc_flush_cost_carve,
+    rdc_flush_cost_naive,
+    table4_rows,
+)
+from repro.config import baseline_config, carve_config
+
+
+class TestLlcCosts:
+    def test_invalidate_matches_paper(self):
+        # 8 MB / 128 B lines / 16 banks / 1 GHz = 4.096 us (paper: 4 us).
+        cost = llc_flush_cost(carve_config())
+        assert cost.invalidate_s == pytest.approx(4.096e-6)
+
+    def test_flush_matches_paper_fast_end(self):
+        # 8 MB at 1 TB/s = 8 us (paper's 8 us - 128 us range, fast end).
+        cost = llc_flush_cost(carve_config())
+        assert cost.flush_dirty_s == pytest.approx(8.388608e-6, rel=1e-3)
+
+    def test_total(self):
+        c = llc_flush_cost(carve_config())
+        assert c.total_s == c.invalidate_s + c.flush_dirty_s
+
+
+class TestRdcCosts:
+    def test_naive_invalidate_milliseconds(self):
+        # 2 GB at 1 TB/s local = ~2 ms (paper: 2 ms).
+        cost = rdc_flush_cost_naive(carve_config())
+        assert cost.invalidate_s == pytest.approx(2.147e-3, rel=1e-2)
+
+    def test_naive_flush_over_link(self):
+        # 2 GB over 64 GB/s = ~33.6 ms (paper: 32 ms).
+        cost = rdc_flush_cost_naive(carve_config())
+        assert cost.flush_dirty_s == pytest.approx(33.55e-3, rel=1e-2)
+
+    def test_carve_is_free(self):
+        assert rdc_flush_cost_carve(carve_config()).total_s == 0.0
+
+    def test_scales_with_rdc_size(self):
+        small = rdc_flush_cost_naive(carve_config(rdc_bytes=2**30))
+        big = rdc_flush_cost_naive(carve_config(rdc_bytes=4 * 2**30))
+        assert big.flush_dirty_s == pytest.approx(4 * small.flush_dirty_s)
+
+    def test_requires_rdc(self):
+        with pytest.raises(ValueError):
+            rdc_flush_cost_naive(baseline_config())
+        with pytest.raises(ValueError):
+            rdc_flush_cost_carve(baseline_config())
+
+
+class TestTable4:
+    def test_three_rows(self):
+        rows = table4_rows(carve_config())
+        assert len(rows) == 3
+        assert rows[2][1] == "0 ms" and rows[2][2] == "0 ms"
+
+    def test_formats_us_and_ms(self):
+        rows = table4_rows(carve_config())
+        assert rows[0][1].endswith("us")
+        assert rows[1][2].endswith("ms")
+
+    def test_requires_rdc(self):
+        with pytest.raises(ValueError):
+            table4_rows(baseline_config())

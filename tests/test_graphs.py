@@ -1,0 +1,118 @@
+"""Tests for the networkx-backed BFS trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sharing import profile_sharing
+from repro.sim.driver import run_workload, time_of
+from repro.workloads.graphs import (
+    GraphWorkloadSpec,
+    generate_bfs_trace,
+    graph_footprint_lines,
+)
+from tests.conftest import small_config
+
+
+@pytest.fixture(scope="module")
+def trace():
+    spec = GraphWorkloadSpec(grid_width=24, grid_height=24, seed=3)
+    return generate_bfs_trace(spec, small_config())
+
+
+class TestStructure:
+    def test_one_kernel_per_level_capped(self, trace):
+        assert 2 <= trace.n_kernels <= 12
+
+    def test_frontier_grows_then_shrinks(self, trace):
+        sizes = [k.n_accesses for k in trace.kernels]
+        peak = sizes.index(max(sizes))
+        assert 0 < peak  # the source level is tiny
+
+    def test_lines_within_layout(self, trace):
+        spec = GraphWorkloadSpec(grid_width=24, grid_height=24, seed=3)
+        total = graph_footprint_lines(spec)
+        for k in trace.kernels:
+            assert k.lines.min() >= 0
+            assert k.lines.max() < total
+
+    def test_writes_only_to_vertex_state(self, trace):
+        spec = GraphWorkloadSpec(grid_width=24, grid_height=24, seed=3)
+        from repro.workloads.graphs import _build_graph, _layout
+
+        g = _build_graph(spec)
+        n_edges = sum(len(list(g.neighbors(v)))
+                      for v in range(g.number_of_nodes()))
+        layout = _layout(g.number_of_nodes(), n_edges)
+        for k in trace.kernels:
+            written = k.lines[k.is_write]
+            assert (written >= layout.state_start_line).all()
+
+    def test_deterministic(self):
+        spec = GraphWorkloadSpec(grid_width=16, grid_height=16, seed=5)
+        t1 = generate_bfs_trace(spec, small_config())
+        t2 = generate_bfs_trace(spec, small_config())
+        for k1, k2 in zip(t1.kernels, t2.kernels):
+            assert np.array_equal(k1.lines, k2.lines)
+
+
+class TestBehaviour:
+    def test_csr_is_shared_state_is_rw(self, trace):
+        cfg = small_config()
+        profile = profile_sharing(trace, cfg)
+        dist = profile.access_distribution("page")
+        # BFS over a shared graph: substantial sharing, some of it RW.
+        assert dist.shared > 0.3
+        assert dist.rw_shared > 0.05
+
+    def test_runs_through_the_simulator(self, trace):
+        cfg = small_config()
+        spec = GraphWorkloadSpec(grid_width=24, grid_height=24, seed=3)
+        wl_spec = _as_workload_spec(spec)
+        result = run_workload(wl_spec, cfg, trace=trace)
+        assert result.total(include_warmup=True).accesses == trace.n_accesses
+        assert time_of(result, cfg) > 0
+
+    def test_carve_reduces_remote_traffic_on_bfs(self, trace):
+        from repro.config import COHERENCE_NONE
+
+        cfg = small_config()
+        carve = cfg.with_rdc(coherence=COHERENCE_NONE)
+        wl_spec = _as_workload_spec(
+            GraphWorkloadSpec(grid_width=24, grid_height=24, seed=3)
+        )
+        r_base = run_workload(wl_spec, cfg, trace=trace)
+        r_carve = run_workload(wl_spec, carve, trace=trace)
+        assert (
+            r_carve.total(include_warmup=True).remote_reads
+            < r_base.total(include_warmup=True).remote_reads
+        )
+
+    def test_hardware_coherence_costs_refetches_on_write_heavy_bfs(
+        self, trace
+    ):
+        """BFS writes per-edge state, so GPU-VI invalidations force peer
+        refetches the baseline's relaxed software coherence never pays —
+        the §V-E caveat about frequent read-write sharing, in miniature."""
+        from repro.config import COHERENCE_HARDWARE, COHERENCE_NONE
+
+        wl_spec = _as_workload_spec(
+            GraphWorkloadSpec(grid_width=24, grid_height=24, seed=3)
+        )
+        base = small_config()
+        noc = run_workload(wl_spec, base.with_rdc(coherence=COHERENCE_NONE),
+                           trace=trace).total(include_warmup=True)
+        hwc = run_workload(wl_spec, base.with_rdc(coherence=COHERENCE_HARDWARE),
+                           trace=trace).total(include_warmup=True)
+        assert hwc.remote_reads > noc.remote_reads
+        assert hwc.invalidates_sent > 0
+
+
+def _as_workload_spec(spec: GraphWorkloadSpec):
+    """Minimal WorkloadSpec shim so the driver can label/cache the run."""
+    from repro.workloads.base import WorkloadSpec
+
+    return WorkloadSpec(
+        name=spec.name, abbr=spec.name, suite="graph",
+        footprint_bytes=graph_footprint_lines(spec) * 128 * 1024,
+        n_kernels=1, warmup_kernels=0,
+    )

@@ -1,0 +1,67 @@
+"""Tests for the RDC hit predictor."""
+
+import pytest
+
+from repro.core.hit_predictor import RdcHitPredictor
+
+
+class TestPrediction:
+    def test_cold_predictor_predicts_hit(self):
+        p = RdcHitPredictor()
+        assert p.predict_hit(0)
+
+    def test_learns_to_bypass_after_misses(self):
+        p = RdcHitPredictor()
+        for _ in range(2):
+            pred = p.predict_hit(0)
+            p.train(0, was_hit=False, predicted_hit=pred)
+        assert not p.predict_hit(0)
+
+    def test_recovers_after_hits(self):
+        p = RdcHitPredictor()
+        for _ in range(3):
+            p.train(0, was_hit=False, predicted_hit=True)
+        for _ in range(2):
+            p.train(0, was_hit=True, predicted_hit=False)
+        assert p.predict_hit(0)
+
+    def test_counters_saturate(self):
+        p = RdcHitPredictor()
+        for _ in range(100):
+            p.train(0, was_hit=False, predicted_hit=False)
+        for _ in range(100):
+            p.train(0, was_hit=True, predicted_hit=True)
+        assert p.predict_hit(0)
+
+    def test_regions_share_counters(self):
+        p = RdcHitPredictor()
+        for _ in range(3):
+            p.train(0, was_hit=False, predicted_hit=True)
+        # Same region (64 lines) shares the prediction.
+        assert not p.predict_hit(5)
+        # A different region is still cold (predict hit).
+        assert p.predict_hit(RdcHitPredictor.REGION_LINES * 1000 + 1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            RdcHitPredictor(0)
+
+
+class TestStats:
+    def test_accuracy_tracks_mistakes(self):
+        p = RdcHitPredictor()
+        p.predict_hit(0)
+        p.train(0, was_hit=False, predicted_hit=True)  # false hit
+        p.predict_hit(0)
+        p.train(0, was_hit=True, predicted_hit=True)
+        assert p.stats.predictions == 2
+        assert p.stats.false_hits == 1
+        assert p.stats.accuracy == pytest.approx(0.5)
+
+    def test_false_miss_recorded(self):
+        p = RdcHitPredictor()
+        p.train(0, was_hit=True, predicted_hit=False)
+        assert p.stats.false_misses == 1
+
+    def test_accuracy_with_no_predictions(self):
+        assert RdcHitPredictor().stats.accuracy == 1.0

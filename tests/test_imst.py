@@ -1,0 +1,133 @@
+"""Tests for the In-Memory Sharing Tracker."""
+
+import pytest
+
+from repro.core.imst import (
+    PRIVATE,
+    READ_SHARED,
+    RW_SHARED,
+    UNCACHED,
+    InMemorySharingTracker,
+)
+
+
+def tracker(demote=0.0) -> InMemorySharingTracker:
+    return InMemorySharingTracker(demote_prob=demote)
+
+
+class TestTransitions:
+    def test_starts_uncached(self):
+        assert tracker().state_of(1) == UNCACHED
+
+    def test_first_read_privatises(self):
+        t = tracker()
+        assert t.on_read(1, reader=2) == PRIVATE
+        assert t.owner_of(1) == 2
+
+    def test_owner_reread_stays_private(self):
+        t = tracker()
+        t.on_read(1, 2)
+        assert t.on_read(1, 2) == PRIVATE
+
+    def test_second_reader_shares(self):
+        t = tracker()
+        t.on_read(1, 0)
+        assert t.on_read(1, 3) == READ_SHARED
+        assert t.owner_of(1) == -1
+
+    def test_first_write_privatises(self):
+        t = tracker()
+        assert not t.on_write(1, writer=0, is_local=True)
+        assert t.state_of(1) == PRIVATE
+
+    def test_owner_write_silent(self):
+        t = tracker()
+        t.on_read(1, 0)
+        assert not t.on_write(1, 0, is_local=True)
+        assert t.stats.broadcasts_avoided == 1
+
+    def test_foreign_write_to_private_broadcasts(self):
+        t = tracker()
+        t.on_read(1, 0)
+        assert t.on_write(1, 2, is_local=False)
+        assert t.state_of(1) == RW_SHARED
+
+    def test_write_to_read_shared_broadcasts(self):
+        t = tracker()
+        t.on_read(1, 0)
+        t.on_read(1, 1)
+        assert t.on_write(1, 0, is_local=True)
+        assert t.state_of(1) == RW_SHARED
+
+    def test_rw_shared_keeps_broadcasting(self):
+        t = tracker()
+        t.on_read(1, 0)
+        t.on_read(1, 1)
+        t.on_write(1, 0, is_local=True)
+        assert t.on_write(1, 1, is_local=False)
+
+    def test_read_of_rw_shared_keeps_state(self):
+        t = tracker()
+        t.on_read(1, 0)
+        t.on_read(1, 1)
+        t.on_write(1, 0, is_local=True)
+        assert t.on_read(1, 3) == RW_SHARED
+
+
+class TestDemotion:
+    def test_certain_demotion_reprivatises(self):
+        t = tracker(demote=1.0)
+        t.on_read(1, 0)
+        t.on_read(1, 1)
+        assert t.on_write(1, 0, is_local=True)  # broadcast then demote
+        assert t.state_of(1) == PRIVATE
+        assert t.owner_of(1) == 0
+        assert t.stats.demotions == 1
+        # Next local write by the new owner is silent.
+        assert not t.on_write(1, 0, is_local=True)
+
+    def test_remote_write_never_demotes(self):
+        t = tracker(demote=1.0)
+        t.on_read(1, 0)
+        t.on_read(1, 1)
+        t.on_write(1, 2, is_local=False)
+        assert t.state_of(1) == RW_SHARED
+
+    def test_zero_prob_never_demotes(self):
+        t = tracker(demote=0.0)
+        t.on_read(1, 0)
+        t.on_read(1, 1)
+        for _ in range(50):
+            t.on_write(1, 0, is_local=True)
+        assert t.state_of(1) == RW_SHARED
+
+    def test_invalid_prob(self):
+        with pytest.raises(ValueError):
+            InMemorySharingTracker(demote_prob=-0.1)
+
+
+class TestStatsAndStorage:
+    def test_broadcast_rate(self):
+        t = tracker()
+        t.on_write(1, 0, True)   # private, silent
+        t.on_read(1, 1)
+        t.on_write(1, 0, True)   # shared, broadcast
+        assert t.stats.broadcast_rate == pytest.approx(0.5)
+
+    def test_histogram(self):
+        t = tracker()
+        t.on_read(1, 0)
+        t.on_read(2, 0)
+        t.on_read(2, 1)
+        hist = t.histogram()
+        assert hist["private"] == 1
+        assert hist["read_shared"] == 1
+
+    def test_storage_two_bits_per_tracked_line(self):
+        t = tracker()
+        for line in range(10):
+            t.on_read(line, 0)
+        assert t.storage_bits() == 20
+
+    def test_broadcast_rate_zero_when_no_writes(self):
+        assert tracker().stats.broadcast_rate == 0.0

@@ -1,0 +1,174 @@
+"""End-to-end tests asserting the paper's qualitative claims.
+
+Each test runs a reduced-size workload through complete systems and
+checks an ordering or threshold the paper reports.  These are the
+regression net for the calibrated suite: if a refactor silently breaks a
+mechanism (say, the RDC stops retaining across kernels), one of these
+fails even though unit tests still pass.
+"""
+
+import pytest
+
+from repro.config import (
+    COHERENCE_HARDWARE,
+    COHERENCE_NONE,
+    COHERENCE_SOFTWARE,
+    REPLICATE_ALL,
+    REPLICATE_READ_ONLY,
+)
+from repro.sim.driver import run_workload, time_of
+from repro.workloads.base import WorkloadSpec
+from tests.conftest import small_config
+
+
+def rw_shared_spec(**kw) -> WorkloadSpec:
+    """A fast Lulesh-like workload: heavy read-write page sharing."""
+    base = dict(
+        name="rwshare", abbr="rwshare", suite="HPC",
+        footprint_bytes=2**20 * 1024, min_footprint_lines=8192,
+        n_kernels=4, warmup_kernels=2, n_ctas=16,
+        coverage=1.5, min_accesses=6000, max_accesses=16000,
+        shared_page_frac=0.6, shared_access_frac=0.7,
+        rw_page_frac=0.9, line_write_frac=0.1,
+        write_frac=0.25, shared_write_frac=0.05,
+        instr_per_access=6.0, concurrency_per_sm=32.0, seed=7,
+    )
+    base.update(kw)
+    return WorkloadSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def systems():
+    """Simulate the rw-shared workload on every headline system once."""
+    base = small_config()
+    spec = rw_shared_spec()
+    cfgs = {
+        "single": base.single_gpu(),
+        "numa": base,
+        "repl_ro": base.replace(replication=REPLICATE_READ_ONLY),
+        "ideal": base.replace(replication=REPLICATE_ALL),
+        "carve_noc": base.with_rdc(coherence=COHERENCE_NONE),
+        "carve_swc": base.with_rdc(coherence=COHERENCE_SOFTWARE),
+        "carve_hwc": base.with_rdc(coherence=COHERENCE_HARDWARE),
+    }
+    results = {
+        name: run_workload(spec, cfg, use_cache=False)
+        for name, cfg in cfgs.items()
+    }
+    times = {name: time_of(results[name], cfgs[name]) for name in cfgs}
+    return cfgs, results, times
+
+
+class TestHeadlineOrdering:
+    def test_ideal_is_fastest_multi_gpu(self, systems):
+        _, _, t = systems
+        assert t["ideal"] <= min(t["numa"], t["repl_ro"], t["carve_hwc"]) * 1.02
+
+    def test_carve_beats_baseline_and_replication(self, systems):
+        """The Fig. 13 ordering: CARVE > repl-ro > NUMA-GPU."""
+        _, _, t = systems
+        assert t["carve_hwc"] < t["repl_ro"] < t["numa"]
+
+    def test_carve_hwc_close_to_upper_bound(self, systems):
+        """Hardware coherence costs little over zero-cost coherence."""
+        _, _, t = systems
+        assert t["carve_hwc"] <= t["carve_noc"] * 1.15
+
+    def test_swc_loses_most_rdc_benefit(self, systems):
+        """Fig. 11: flushing the RDC per kernel forfeits its locality."""
+        _, _, t = systems
+        gain_noc = t["numa"] / t["carve_noc"]
+        gain_swc = t["numa"] / t["carve_swc"]
+        assert gain_swc < 0.75 * gain_noc
+
+    def test_multi_gpu_beats_single(self, systems):
+        _, _, t = systems
+        assert t["ideal"] < t["single"] / 3.0
+
+
+class TestRemoteTraffic:
+    def test_carve_slashes_remote_fraction(self, systems):
+        """Fig. 8: CARVE converts most remote accesses to local ones."""
+        _, r, _ = systems
+        assert r["carve_hwc"].remote_fraction < 0.5 * r["numa"].remote_fraction
+
+    def test_ideal_has_no_remote_accesses(self, systems):
+        _, r, _ = systems
+        assert r["ideal"].remote_fraction == pytest.approx(0.0, abs=1e-9)
+
+    def test_ro_replication_barely_helps_rw_pages(self, systems):
+        """Fig. 2: read-only replication cannot fix read-write sharing."""
+        _, r, _ = systems
+        assert (
+            r["repl_ro"].remote_fraction > 0.6 * r["numa"].remote_fraction
+        )
+
+    def test_single_gpu_all_local(self, systems):
+        _, r, _ = systems
+        assert r["single"].remote_fraction == 0.0
+
+
+class TestCapacityPressure:
+    def test_replicate_all_inflates_memory(self, systems):
+        """Section I: unbounded replication costs ~2.4x capacity."""
+        _, r, _ = systems
+        assert r["ideal"].replication_pressure > 1.5
+        assert r["numa"].replication_pressure == 1.0
+
+    def test_carve_has_no_page_replicas(self, systems):
+        _, r, _ = systems
+        assert sum(r["carve_hwc"].pages_replicated) == 0
+
+
+class TestReadOnlyWorkload:
+    def test_ro_replication_cures_ro_sharing(self):
+        """Fig. 2's middle group: read-only sharing is fully fixable."""
+        spec = rw_shared_spec(rw_page_frac=0.0, line_write_frac=0.0)
+        base = small_config()
+        repl = base.replace(replication=REPLICATE_READ_ONLY)
+        ideal = base.replace(replication=REPLICATE_ALL)
+        t_repl = time_of(run_workload(spec, repl, use_cache=False), repl)
+        t_ideal = time_of(run_workload(spec, ideal, use_cache=False), ideal)
+        assert t_repl <= t_ideal * 1.05
+
+
+class TestLatencyOutlier:
+    def test_rdc_probe_penalty_on_thrashing_workload(self):
+        """Fig. 9: a random workload larger than the RDC can lose."""
+        spec = rw_shared_spec(
+            footprint_bytes=15 * 2**30,
+            shared_page_frac=1.0, shared_access_frac=0.95,
+            rw_page_frac=1.0, line_write_frac=1.0,
+            private_pattern="uniform", shared_pattern="uniform",
+            shared_write_frac=0.25, instr_per_access=2.0,
+            concurrency_per_sm=4.0, cold_page_frac=0.0,
+            min_accesses=30000, max_accesses=40000, n_kernels=2,
+            warmup_kernels=1,
+        )
+        base = small_config()
+        carve = base.with_rdc(coherence=COHERENCE_NONE)
+        t_numa = time_of(run_workload(spec, base, use_cache=False), base)
+        t_carve = time_of(run_workload(spec, carve, use_cache=False), carve)
+        assert t_carve > t_numa  # CARVE degrades this outlier
+
+
+class TestLinkBandwidthSensitivity:
+    def test_carve_flat_numa_steep(self):
+        """Fig. 14: NUMA-GPU tracks link bandwidth, CARVE does not."""
+        from repro.config import LinkConfig
+        from repro.perf.model import PerformanceModel
+
+        spec = rw_shared_spec()
+        base = small_config()
+        carve = base.with_rdc(coherence=COHERENCE_HARDWARE)
+        r_numa = run_workload(spec, base, use_cache=False)
+        r_carve = run_workload(spec, carve, use_cache=False)
+
+        def at_bw(cfg, result, bw):
+            priced = cfg.replace(link=LinkConfig(inter_gpu_bytes_per_s=bw))
+            return PerformanceModel(priced).total_time_s(result)
+
+        numa_ratio = at_bw(base, r_numa, 32e9) / at_bw(base, r_numa, 256e9)
+        carve_ratio = at_bw(carve, r_carve, 32e9) / at_bw(carve, r_carve, 256e9)
+        assert numa_ratio > 2.0      # strongly link-bound
+        assert carve_ratio < 1.5     # largely insensitive

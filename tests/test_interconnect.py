@@ -1,0 +1,68 @@
+"""Tests for the interconnect byte accountant."""
+
+import pytest
+
+from repro.config import LinkConfig
+from repro.numa.interconnect import Interconnect
+
+
+@pytest.fixture
+def net() -> Interconnect:
+    return Interconnect(4, LinkConfig())
+
+
+class TestSend:
+    def test_accumulates_bytes(self, net):
+        net.send(0, 1, 100)
+        net.send(0, 1, 60)
+        assert net.bytes_between(0, 1) == 160
+
+    def test_directional(self, net):
+        net.send(0, 1, 100)
+        assert net.bytes_between(1, 0) == 0
+
+    def test_returns_latency(self, net):
+        assert net.send(0, 1, 8) == net.config.latency_ns
+
+    def test_self_link_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.send(2, 2, 8)
+
+    def test_negative_bytes_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.send(0, 1, -1)
+
+    def test_zero_bytes_allowed(self, net):
+        net.send(0, 1, 0)
+        assert net.bytes_between(0, 1) == 0
+
+
+class TestAggregates:
+    def test_total(self, net):
+        net.send(0, 1, 10)
+        net.send(2, 3, 20)
+        assert net.total_bytes() == 30
+
+    def test_busiest_link(self, net):
+        net.send(0, 1, 10)
+        net.send(3, 2, 50)
+        assert net.busiest_link_bytes() == 50
+
+    def test_busiest_when_idle(self, net):
+        assert net.busiest_link_bytes() == 0
+
+    def test_matrix_is_a_copy(self, net):
+        net.send(0, 1, 10)
+        m = net.matrix()
+        m[0][1] = 999
+        assert net.bytes_between(0, 1) == 10
+
+    def test_snapshot_and_reset(self, net):
+        net.send(0, 1, 10)
+        snap = net.snapshot_and_reset()
+        assert snap[0][1] == 10
+        assert net.total_bytes() == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Interconnect(0, LinkConfig())

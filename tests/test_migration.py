@@ -1,0 +1,78 @@
+"""Tests for the page migration engine."""
+
+import pytest
+
+from repro.numa.migration import MigrationEngine
+from repro.numa.pagetable import PageTable
+
+
+def engine(threshold=3, cap=2):
+    pt = PageTable(4)
+    pt.home_of(10, 0)
+    return pt, MigrationEngine(pt, threshold=threshold, max_moves_per_page=cap)
+
+
+class TestThreshold:
+    def test_below_threshold_no_move(self):
+        pt, m = engine(threshold=3)
+        assert not m.note_remote_access(10, 1)
+        assert not m.note_remote_access(10, 1)
+        assert pt.peek_home(10) == 0
+
+    def test_threshold_triggers_move(self):
+        pt, m = engine(threshold=3)
+        m.note_remote_access(10, 1)
+        m.note_remote_access(10, 1)
+        assert m.note_remote_access(10, 1)
+        assert pt.peek_home(10) == 1
+        assert m.stats.migrations == 1
+
+    def test_counters_are_per_gpu(self):
+        pt, m = engine(threshold=3)
+        m.note_remote_access(10, 1)
+        m.note_remote_access(10, 2)
+        assert not m.note_remote_access(10, 3)
+        assert pt.peek_home(10) == 0
+
+    def test_counters_reset_after_move(self):
+        pt, m = engine(threshold=2)
+        m.note_remote_access(10, 1)
+        m.note_remote_access(10, 1)  # moves to 1
+        # GPU 0 now remote; needs a full threshold again.
+        assert not m.note_remote_access(10, 0)
+        assert m.note_remote_access(10, 0)
+        assert pt.peek_home(10) == 0
+
+
+class TestPingPongCap:
+    def test_cap_blocks_further_moves(self):
+        pt, m = engine(threshold=1, cap=2)
+        assert m.note_remote_access(10, 1)  # move 1
+        assert m.note_remote_access(10, 0)  # move 2
+        assert not m.note_remote_access(10, 1)  # capped
+        assert m.stats.blocked_by_cap == 1
+        assert pt.peek_home(10) == 0
+
+    def test_cap_is_per_page(self):
+        pt, m = engine(threshold=1, cap=1)
+        pt.home_of(11, 0)
+        assert m.note_remote_access(10, 1)
+        assert m.note_remote_access(11, 1)
+
+
+class TestValidation:
+    def test_bad_threshold(self):
+        pt = PageTable(4)
+        with pytest.raises(ValueError):
+            MigrationEngine(pt, threshold=0)
+
+    def test_bad_cap(self):
+        pt = PageTable(4)
+        with pytest.raises(ValueError):
+            MigrationEngine(pt, threshold=1, max_moves_per_page=0)
+
+    def test_observed_counter(self):
+        pt, m = engine(threshold=10)
+        for _ in range(5):
+            m.note_remote_access(10, 1)
+        assert m.stats.remote_accesses_observed == 5

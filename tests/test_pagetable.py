@@ -1,0 +1,146 @@
+"""Tests for the page table and placement policies."""
+
+import pytest
+
+from repro.config import (
+    PLACEMENT_FIRST_TOUCH,
+    PLACEMENT_INTERLEAVED,
+    PLACEMENT_ROUND_ROBIN,
+)
+from repro.numa.pagetable import PageTable
+
+
+class TestPlacement:
+    def test_first_touch_assigns_accessor(self):
+        pt = PageTable(4, PLACEMENT_FIRST_TOUCH)
+        assert pt.home_of(10, accessor=2) == 2
+
+    def test_first_touch_is_sticky(self):
+        pt = PageTable(4, PLACEMENT_FIRST_TOUCH)
+        pt.home_of(10, accessor=2)
+        assert pt.home_of(10, accessor=0) == 2
+
+    def test_round_robin_cycles(self):
+        pt = PageTable(3, PLACEMENT_ROUND_ROBIN)
+        homes = [pt.home_of(p, accessor=0) for p in (5, 9, 7, 1)]
+        assert homes == [0, 1, 2, 0]
+
+    def test_interleaved_hashes_page_number(self):
+        pt = PageTable(4, PLACEMENT_INTERLEAVED)
+        assert pt.home_of(6, accessor=0) == 2
+        assert pt.home_of(9, accessor=3) == 1
+
+    def test_peek_home_no_mapping(self):
+        pt = PageTable(4)
+        assert pt.peek_home(1) == -1
+        assert not pt.is_mapped(1)
+
+    def test_peek_does_not_map(self):
+        pt = PageTable(4)
+        pt.peek_home(1)
+        assert pt.total_pages == 0
+
+    def test_pages_mapped_counter(self):
+        pt = PageTable(4)
+        pt.home_of(1, 0)
+        pt.home_of(2, 1)
+        pt.home_of(1, 2)  # already mapped
+        assert pt.stats.pages_mapped == 2
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PageTable(0)
+        with pytest.raises(ValueError):
+            PageTable(4, "warmest")
+
+
+class TestReplication:
+    def test_add_and_query(self):
+        pt = PageTable(4)
+        pt.home_of(5, 0)
+        assert pt.add_replica(5, 2)
+        assert pt.has_replica(5, 2)
+        assert not pt.has_replica(5, 1)
+
+    def test_duplicate_replica_not_double_counted(self):
+        pt = PageTable(4)
+        pt.home_of(5, 0)
+        assert pt.add_replica(5, 2)
+        assert not pt.add_replica(5, 2)
+        assert pt.stats.replicas_created == 1
+
+    def test_replica_gpu_range_checked(self):
+        pt = PageTable(4)
+        with pytest.raises(ValueError):
+            pt.add_replica(5, 7)
+
+    def test_collapse(self):
+        pt = PageTable(4)
+        pt.home_of(5, 0)
+        pt.add_replica(5, 1)
+        pt.add_replica(5, 2)
+        assert pt.collapse_replicas(5) == 2
+        assert not pt.has_replica(5, 1)
+        assert pt.stats.replicas_collapsed == 2
+
+    def test_collapse_without_replicas(self):
+        pt = PageTable(4)
+        assert pt.collapse_replicas(99) == 0
+
+
+class TestMigration:
+    def test_migrate_changes_home(self):
+        pt = PageTable(4)
+        pt.home_of(3, 0)
+        old = pt.migrate(3, 2)
+        assert old == 0
+        assert pt.peek_home(3) == 2
+        assert pt.stats.migrations == 1
+
+    def test_migrate_to_same_home_is_noop(self):
+        pt = PageTable(4)
+        pt.home_of(3, 1)
+        pt.migrate(3, 1)
+        assert pt.stats.migrations == 0
+
+    def test_migrate_unmapped_rejected(self):
+        pt = PageTable(4)
+        with pytest.raises(KeyError):
+            pt.migrate(3, 1)
+
+    def test_migrate_bad_gpu_rejected(self):
+        pt = PageTable(4)
+        pt.home_of(3, 1)
+        with pytest.raises(ValueError):
+            pt.migrate(3, 9)
+
+
+class TestCapacityAccounting:
+    def test_pages_homed(self):
+        pt = PageTable(2)
+        pt.home_of(1, 0)
+        pt.home_of(2, 0)
+        pt.home_of(3, 1)
+        assert pt.pages_homed(0) == 2
+        assert pt.pages_homed(1) == 1
+
+    def test_capacity_includes_replicas(self):
+        pt = PageTable(2)
+        pt.home_of(1, 0)
+        pt.add_replica(1, 1)
+        assert pt.capacity_pages(1) == 1
+        assert pt.capacity_pages(0) == 1
+
+    def test_replication_pressure(self):
+        pt = PageTable(4)
+        for p in range(10):
+            pt.home_of(p, p % 4)
+        for p in range(5):  # replicate half the pages at 3 peers
+            for g in range(4):
+                if g != pt.peek_home(p):
+                    pt.add_replica(p, g)
+        # 10 pages + 15 replicas = 2.5x pressure.
+        assert pt.replication_pressure() == pytest.approx(2.5)
+
+    def test_pressure_of_empty_table(self):
+        assert PageTable(4).replication_pressure() == 1.0

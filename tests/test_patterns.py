@@ -1,0 +1,129 @@
+"""Tests for the access-pattern primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import patterns
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestStream:
+    def test_sequential(self):
+        out = patterns.stream(100, 8, 5)
+        assert list(out) == [100, 101, 102, 103, 104]
+
+    def test_wraps(self):
+        out = patterns.stream(0, 4, 6)
+        assert list(out) == [0, 1, 2, 3, 0, 1]
+
+    def test_offset(self):
+        out = patterns.stream(0, 8, 3, offset=6)
+        assert list(out) == [6, 7, 0]
+
+
+class TestStrided:
+    def test_stride(self):
+        out = patterns.strided(0, 16, 4, stride=4)
+        assert list(out) == [0, 4, 8, 12]
+
+    def test_coprime_stride_covers_region(self):
+        out = patterns.strided(0, 8, 8, stride=3)
+        assert sorted(out) == list(range(8))
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            patterns.strided(0, 8, 4, stride=0)
+
+
+class TestUniform:
+    def test_in_bounds(self):
+        out = patterns.uniform(50, 10, 1000, RNG)
+        assert out.min() >= 50 and out.max() < 60
+
+    def test_covers_region_eventually(self):
+        out = patterns.uniform(0, 8, 1000, RNG)
+        assert set(out) == set(range(8))
+
+
+class TestZipf:
+    def test_in_bounds(self):
+        out = patterns.zipf(100, 50, 2000, RNG, alpha=1.2)
+        assert out.min() >= 100 and out.max() < 150
+
+    def test_skewed_popularity(self):
+        out = patterns.zipf(0, 1000, 20_000, RNG, alpha=1.5)
+        _, counts = np.unique(out, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # The hottest line sees far more traffic than the median line.
+        assert counts[0] > 10 * np.median(counts)
+
+    def test_hot_lines_scattered_across_region(self):
+        out = patterns.zipf(0, 1024, 20_000, RNG, alpha=1.5)
+        values, counts = np.unique(out, return_counts=True)
+        hot = values[np.argsort(counts)[-10:]]
+        # Hot lines should not all cluster in the first page (16 lines).
+        assert (hot >= 16).any()
+
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            patterns.zipf(0, 8, 4, RNG, alpha=1.0)
+
+
+class TestStencil:
+    def test_in_bounds(self):
+        out = patterns.stencil(0, 100, 5000, RNG, row_lines=10)
+        assert out.min() >= 0 and out.max() < 100
+
+    def test_mostly_sequential(self):
+        out = patterns.stencil(0, 1000, 900, RNG, row_lines=10)
+        # The sweep base advances by one; offsets cluster around it.
+        drift = np.abs(np.diff(out))
+        assert np.median(drift) <= 11
+
+    def test_invalid_row(self):
+        with pytest.raises(ValueError):
+            patterns.stencil(0, 100, 10, RNG, row_lines=0)
+
+
+class TestDispatch:
+    def test_known_patterns(self):
+        for name in patterns.PATTERNS:
+            out = patterns.generate(name, 0, 32, 10, RNG)
+            assert len(out) == 10
+            assert out.min() >= 0 and out.max() < 32
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            patterns.generate("fractal", 0, 32, 10, RNG)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            patterns.stream(-1, 8, 4)
+        with pytest.raises(ValueError):
+            patterns.stream(0, 0, 4)
+        with pytest.raises(ValueError):
+            patterns.stream(0, 8, -1)
+
+    def test_zero_count_allowed(self):
+        assert len(patterns.stream(0, 8, 0)) == 0
+
+
+class TestPatternProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(patterns.PATTERNS)),
+        start=st.integers(min_value=0, max_value=10_000),
+        n_lines=st.integers(min_value=1, max_value=500),
+        count=st.integers(min_value=0, max_value=500),
+    )
+    def test_all_patterns_stay_in_region(self, name, start, n_lines, count):
+        rng = np.random.default_rng(7)
+        out = patterns.generate(name, start, n_lines, count, rng)
+        assert len(out) == count
+        if count:
+            assert out.min() >= start
+            assert out.max() < start + n_lines

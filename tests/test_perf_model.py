@@ -1,0 +1,123 @@
+"""Tests for the bottleneck timing model."""
+
+import pytest
+
+from repro.config import LINE_BYTES
+from repro.perf.model import PerformanceModel, geometric_mean, speedup
+from repro.perf.stats import GpuKernelStats, KernelStats, RunResult
+from tests.conftest import small_config
+
+
+def kernel_with(gpu0: GpuKernelStats, concurrency=32.0, n_gpus=4) -> KernelStats:
+    ks = KernelStats(0, n_gpus, 1.0, concurrency)
+    ks.gpus[0] = gpu0
+    return ks
+
+
+class TestKernelTime:
+    def test_compute_bound(self):
+        m = PerformanceModel(small_config())
+        ks = kernel_with(GpuKernelStats(instructions=64e9))
+        kt = m.kernel_time(ks)
+        assert kt.bottlenecks[0] == "compute"
+        assert kt.per_gpu[0] == pytest.approx(1.0)
+
+    def test_local_dram_bound(self):
+        m = PerformanceModel(small_config())
+        n = 10**9
+        st = GpuKernelStats(dram_reads=n, dram_row_hits=n)
+        kt = m.kernel_time(kernel_with(st))
+        assert kt.bottlenecks[0] == "local_dram"
+        assert kt.per_gpu[0] == pytest.approx(n * LINE_BYTES / 1e12)
+
+    def test_link_bound(self):
+        m = PerformanceModel(small_config())
+        ks = kernel_with(GpuKernelStats())
+        ks.link_bytes[0][1] = 64 * 10**9
+        kt = m.kernel_time(ks)
+        assert kt.bottlenecks[0] == "link"
+        assert kt.per_gpu[0] == pytest.approx(1.0)
+
+    def test_latency_bound(self):
+        m = PerformanceModel(small_config())
+        st = GpuKernelStats(latency_ns=1e15)
+        kt = m.kernel_time(kernel_with(st, concurrency=1.0))
+        assert kt.bottlenecks[0] == "latency"
+
+    def test_kernel_barrier_takes_slowest_gpu(self):
+        m = PerformanceModel(small_config())
+        ks = KernelStats(0, 2, 1.0, 32.0)
+        ks.gpus[0].instructions = 64e9
+        ks.gpus[1].instructions = 128e9
+        kt = m.kernel_time(ks)
+        assert kt.time >= 2.0
+
+    def test_launch_overhead_scaled(self):
+        cfg = small_config()
+        m = PerformanceModel(cfg)
+        kt = m.kernel_time(kernel_with(GpuKernelStats()))
+        assert kt.launch_overhead == pytest.approx(
+            cfg.kernel_launch_overhead_s / cfg.scale
+        )
+
+    def test_row_misses_reduce_effective_bandwidth(self):
+        m = PerformanceModel(small_config())
+        n = 10**9
+        hits = kernel_with(GpuKernelStats(dram_reads=n, dram_row_hits=n))
+        misses = kernel_with(GpuKernelStats(dram_reads=n, dram_row_misses=n))
+        assert m.kernel_time(misses).per_gpu[0] > m.kernel_time(hits).per_gpu[0]
+
+
+class TestRunTime:
+    def _run(self, kernels):
+        r = RunResult("wl", "cfg", 4)
+        r.kernels = kernels
+        return r
+
+    def test_total_sums_kernels(self):
+        m = PerformanceModel(small_config())
+        ks = kernel_with(GpuKernelStats(instructions=64e9))
+        ks2 = kernel_with(GpuKernelStats(instructions=64e9))
+        ks2.kernel_id = 1
+        rt = m.run_time(self._run([ks, ks2]))
+        assert rt.total_s == pytest.approx(2.0, rel=1e-3)
+
+    def test_warmup_kernels_not_priced(self):
+        m = PerformanceModel(small_config())
+        warm = kernel_with(GpuKernelStats(instructions=64e9))
+        warm.warmup = True
+        main = kernel_with(GpuKernelStats(instructions=64e9))
+        rt = m.run_time(self._run([warm, main]))
+        assert rt.total_s == pytest.approx(1.0, rel=1e-3)
+
+    def test_bottleneck_histogram(self):
+        m = PerformanceModel(small_config())
+        ks = kernel_with(GpuKernelStats(instructions=64e9))
+        rt = m.run_time(self._run([ks]))
+        hist = rt.bottleneck_histogram()
+        assert hist["compute"] >= 1
+
+
+class TestSpeedupHelpers:
+    def test_speedup(self):
+        cfg = small_config()
+        slow = RunResult("wl", "slow", 4)
+        fast = RunResult("wl", "fast", 4)
+        s1 = kernel_with(GpuKernelStats(instructions=128e9))
+        s2 = kernel_with(GpuKernelStats(instructions=64e9))
+        slow.kernels, fast.kernels = [s1], [s2]
+        assert speedup(slow, fast, cfg) == pytest.approx(2.0, rel=1e-3)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

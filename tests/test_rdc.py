@@ -1,0 +1,195 @@
+"""Tests for the Remote Data Cache (Alloy-style DRAM cache)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import WRITE_BACK, WRITE_THROUGH
+from repro.core.rdc import DIRTY_MAP_REGION_LINES, RemoteDataCache
+
+
+class TestProbeInsert:
+    def test_cold_probe_misses(self):
+        rdc = RemoteDataCache(64)
+        assert not rdc.probe(5)
+        assert rdc.stats.misses == 1
+
+    def test_insert_then_hit(self):
+        rdc = RemoteDataCache(64)
+        rdc.insert(5)
+        assert rdc.probe(5)
+        assert rdc.stats.hits == 1
+
+    def test_direct_mapped_conflict(self):
+        rdc = RemoteDataCache(64)
+        rdc.insert(5)
+        rdc.insert(5 + 64)  # same set
+        assert not rdc.probe(5)
+        assert rdc.probe(5 + 64)
+
+    def test_different_sets_coexist(self):
+        rdc = RemoteDataCache(64)
+        rdc.insert(5)
+        rdc.insert(6)
+        assert rdc.probe(5) and rdc.probe(6)
+
+    def test_contains_no_side_effects(self):
+        rdc = RemoteDataCache(64)
+        rdc.insert(5)
+        probes = rdc.stats.probes
+        assert rdc.contains(5)
+        assert not rdc.contains(6)
+        assert rdc.stats.probes == probes
+
+    def test_hit_rate(self):
+        rdc = RemoteDataCache(64)
+        rdc.insert(1)
+        rdc.probe(1)
+        rdc.probe(2)
+        assert rdc.stats.hit_rate == pytest.approx(0.5)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            RemoteDataCache(0)
+        with pytest.raises(ValueError):
+            RemoteDataCache(16, write_policy="lazy")
+
+
+class TestEpochInvalidation:
+    def test_boundary_invalidates_instantly(self):
+        rdc = RemoteDataCache(64)
+        rdc.insert(5)
+        rdc.kernel_boundary_flush()
+        assert not rdc.probe(5)
+        assert rdc.stats.stale_epoch_misses == 1
+
+    def test_insert_after_boundary_valid(self):
+        rdc = RemoteDataCache(64)
+        rdc.kernel_boundary_flush()
+        rdc.insert(5)
+        assert rdc.probe(5)
+
+    def test_streams_isolated(self):
+        rdc = RemoteDataCache(64)
+        rdc.insert(5, stream=0)
+        rdc.insert(6, stream=1)
+        rdc.kernel_boundary_flush(stream=0)
+        assert not rdc.probe(5, stream=0)
+        assert rdc.probe(6, stream=1)
+
+    def test_rollover_forces_physical_reset(self):
+        rdc = RemoteDataCache(64, epoch_bits=1)  # max epoch 1
+        rdc.insert(5)
+        rdc.kernel_boundary_flush()  # epoch 1
+        rdc.insert(6)
+        rdc.kernel_boundary_flush()  # rollover -> reset
+        assert rdc.stats.physical_resets == 1
+        assert not rdc.contains(5) and not rdc.contains(6)
+
+    def test_occupancy_tracks_current_epoch(self):
+        rdc = RemoteDataCache(4)
+        rdc.insert(0)
+        rdc.insert(1)
+        assert rdc.occupancy() == pytest.approx(0.5)
+        rdc.kernel_boundary_flush()
+        assert rdc.occupancy() == 0.0
+
+
+class TestWritePolicies:
+    def test_write_through_copy_stays_clean(self):
+        rdc = RemoteDataCache(64, write_policy=WRITE_THROUGH)
+        rdc.insert(5)
+        assert rdc.write(5)
+        assert rdc.dirty_lines() == []
+        assert rdc.kernel_boundary_flush() == 0
+
+    def test_write_back_marks_dirty(self):
+        rdc = RemoteDataCache(64, write_policy=WRITE_BACK)
+        rdc.insert(5)
+        rdc.write(5)
+        assert rdc.dirty_lines() == [5]
+
+    def test_write_miss_returns_false(self):
+        rdc = RemoteDataCache(64)
+        assert not rdc.write(9)
+
+    def test_write_to_stale_epoch_misses(self):
+        rdc = RemoteDataCache(64, write_policy=WRITE_BACK)
+        rdc.insert(5)
+        rdc.kernel_boundary_flush()
+        assert not rdc.write(5)
+
+    def test_write_back_flush_counts_and_cleans(self):
+        rdc = RemoteDataCache(64, write_policy=WRITE_BACK)
+        rdc.insert(5)
+        rdc.insert(6)
+        rdc.write(5)
+        assert rdc.kernel_boundary_flush() == 1
+        assert rdc.dirty_lines() == []
+
+    def test_dirty_map_tracks_regions(self):
+        rdc = RemoteDataCache(1024, write_policy=WRITE_BACK)
+        rdc.insert(0, dirty=True)
+        rdc.insert(DIRTY_MAP_REGION_LINES, dirty=True)
+        assert rdc.dirty_map_regions() == 2
+
+    def test_dirty_insert_write_through_tracks_region(self):
+        rdc = RemoteDataCache(1024, write_policy=WRITE_THROUGH)
+        rdc.insert(3, dirty=True)
+        assert rdc.dirty_map_regions() == 1
+
+
+class TestCoherenceInvalidation:
+    def test_invalidate_resident_line(self):
+        rdc = RemoteDataCache(64)
+        rdc.insert(5)
+        assert rdc.invalidate_line(5)
+        assert not rdc.contains(5)
+
+    def test_invalidate_absent_line(self):
+        rdc = RemoteDataCache(64)
+        assert not rdc.invalidate_line(5)
+
+    def test_invalidate_wrong_tag_leaves_occupant(self):
+        rdc = RemoteDataCache(64)
+        rdc.insert(5)
+        assert not rdc.invalidate_line(5 + 64)
+        assert rdc.contains(5)
+
+
+class TestRdcProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=500), max_size=200))
+    def test_last_insert_per_set_wins(self, lines):
+        rdc = RemoteDataCache(32)
+        last_in_set = {}
+        for line in lines:
+            rdc.insert(line)
+            last_in_set[line % 32] = line
+        for line in last_in_set.values():
+            assert rdc.contains(line)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=500), max_size=100),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_boundary_count_invalidates_everything(self, lines, boundaries):
+        rdc = RemoteDataCache(32)
+        for line in lines:
+            rdc.insert(line)
+        for _ in range(boundaries):
+            rdc.kernel_boundary_flush()
+        if boundaries:
+            for line in lines:
+                assert not rdc.contains(line)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=100))
+    def test_probes_equal_hits_plus_misses(self, lines):
+        rdc = RemoteDataCache(16)
+        for line in lines:
+            if not rdc.probe(line):
+                rdc.insert(line)
+        assert rdc.stats.probes == rdc.stats.hits + rdc.stats.misses
+        assert rdc.stats.inserts == rdc.stats.misses

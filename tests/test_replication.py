@@ -1,0 +1,73 @@
+"""Tests for the software page-replication policies."""
+
+import pytest
+
+from repro.config import REPLICATE_ALL, REPLICATE_NONE, REPLICATE_READ_ONLY
+from repro.numa.pagetable import PageTable
+from repro.numa.replication import (
+    apply_replication_plan,
+    build_replication_plan,
+    replica_capacity_bytes,
+)
+from tests.conftest import make_kernel, make_trace, small_config
+from repro.analysis.sharing import profile_sharing
+
+
+def sharing_profile():
+    """Page 0: RO shared (GPUs 0,1). Page 1: RW shared (GPUs 2,3).
+    Page 2: private (GPU 0)."""
+    cfg = small_config()
+    k = make_kernel(
+        lines=[0, 0, 16, 16, 32],
+        writes=[0, 0, 0, 1, 0],
+        cta_ids=[0, 1, 2, 3, 0],
+    )
+    return profile_sharing(make_trace([k]), cfg)
+
+
+class TestPlanBuilding:
+    def test_none_plan_is_empty(self):
+        plan = build_replication_plan(sharing_profile(), REPLICATE_NONE)
+        assert plan.n_replicated_pages == 0
+
+    def test_read_only_selects_ro_pages(self):
+        plan = build_replication_plan(sharing_profile(), REPLICATE_READ_ONLY)
+        assert set(plan.replica_holders) == {0}
+        assert plan.replica_holders[0] == [0, 1]
+
+    def test_all_selects_every_shared_page(self):
+        plan = build_replication_plan(sharing_profile(), REPLICATE_ALL)
+        assert set(plan.replica_holders) == {0, 1}
+
+    def test_private_pages_never_replicated(self):
+        plan = build_replication_plan(sharing_profile(), REPLICATE_ALL)
+        assert 2 not in plan.replica_holders
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            build_replication_plan(sharing_profile(), "most")
+
+    def test_total_replicas(self):
+        plan = build_replication_plan(sharing_profile(), REPLICATE_ALL)
+        assert plan.total_replicas() == 4
+
+
+class TestPlanApplication:
+    def test_apply_installs_replicas_at_non_home_holders(self):
+        plan = build_replication_plan(sharing_profile(), REPLICATE_READ_ONLY)
+        pt = PageTable(4)
+        pt.home_of(0, 0)
+        created = apply_replication_plan(plan, pt)
+        assert created == 1
+        assert pt.has_replica(0, 1)
+        assert not pt.has_replica(0, 0)  # the home copy is not a replica
+
+    def test_apply_skips_unmapped_pages(self):
+        plan = build_replication_plan(sharing_profile(), REPLICATE_READ_ONLY)
+        pt = PageTable(4)
+        assert apply_replication_plan(plan, pt) == 0
+
+    def test_capacity_bound(self):
+        plan = build_replication_plan(sharing_profile(), REPLICATE_ALL)
+        # Two shared pages, two holders each -> one extra copy per page.
+        assert replica_capacity_bytes(plan, 2048) == 2 * 2048

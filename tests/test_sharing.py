@@ -1,0 +1,136 @@
+"""Tests for sharing classification (the Fig. 4 / Fig. 5 machinery)."""
+
+import pytest
+
+from repro.analysis.sharing import (
+    PRIVATE,
+    RO_SHARED,
+    RW_SHARED,
+    SharingProfile,
+    profile_sharing,
+)
+from tests.conftest import make_kernel, make_trace, small_config
+
+
+def profile_of(lines, writes, cta_ids, n_ctas=4, n_gpus=4):
+    """Profile a single-kernel trace; CTA i -> GPU i (4 CTAs, 4 GPUs)."""
+    cfg = small_config(n_gpus=n_gpus)
+    k = make_kernel(lines, writes=writes, cta_ids=cta_ids, n_ctas=n_ctas)
+    return profile_sharing(make_trace([k]), cfg), cfg
+
+
+class TestClassification:
+    def test_private_page(self):
+        # All accesses from CTA 0 (GPU 0).
+        p, _ = profile_of([0, 1, 2], [0, 0, 0], [0, 0, 0])
+        assert p.classify_page(0) == PRIVATE
+
+    def test_ro_shared_page(self):
+        # Line 0 read by GPU 0 and GPU 3 (page 0 is lines 0..15).
+        p, _ = profile_of([0, 0], [0, 0], [0, 3])
+        assert p.classify_page(0) == RO_SHARED
+
+    def test_rw_shared_page(self):
+        p, _ = profile_of([0, 0], [0, 1], [0, 3])
+        assert p.classify_page(0) == RW_SHARED
+
+    def test_private_with_writes_stays_private(self):
+        p, _ = profile_of([0, 0], [1, 1], [0, 0])
+        assert p.classify_page(0) == PRIVATE
+
+    def test_false_sharing_page_vs_line(self):
+        """One written line makes the page RW; other lines stay RO."""
+        # GPU 0 writes line 0; GPUs 0 and 1 read lines 0..3 (all page 0).
+        lines = [0, 1, 2, 3, 0, 1, 2, 3, 0]
+        writes = [0] * 8 + [1]
+        ctas = [0, 0, 0, 0, 1, 1, 1, 1, 0]
+        p, _ = profile_of(lines, writes, ctas)
+        assert p.classify_page(0) == RW_SHARED
+        assert p.classify_line(0) == RW_SHARED
+        assert p.classify_line(1) == RO_SHARED
+        assert p.classify_line(2) == RO_SHARED
+
+    def test_unknown_unit_is_private(self):
+        p, _ = profile_of([0], [0], [0])
+        assert p.classify_page(999) == PRIVATE
+        assert p.classify_line(999) == PRIVATE
+
+
+class TestAccessDistribution:
+    def test_fractions_sum_to_one(self):
+        p, _ = profile_of([0, 0, 16, 32], [0, 1, 0, 0], [0, 1, 2, 2])
+        for gran in ("page", "line"):
+            d = p.access_distribution(gran)
+            total = d.private + d.ro_shared + d.rw_shared
+            assert total == pytest.approx(1.0)
+
+    def test_page_rw_exceeds_line_rw_under_false_sharing(self):
+        lines = [0, 1, 2, 3] * 6 + [0]
+        writes = [0] * 24 + [1]
+        ctas = ([0] * 4 + [1] * 4 + [2] * 4) * 2 + [0]
+        p, _ = profile_of(lines, writes, ctas)
+        page_d = p.access_distribution("page")
+        line_d = p.access_distribution("line")
+        assert page_d.rw_shared > line_d.rw_shared
+
+    def test_empty_distribution(self):
+        p = SharingProfile("x", 4, 16, 2048)
+        d = p.access_distribution("page")
+        assert d.private == d.ro_shared == d.rw_shared == 0.0
+
+    def test_unknown_granularity(self):
+        p = SharingProfile("x", 4, 16, 2048)
+        with pytest.raises(ValueError):
+            p.access_distribution("byte")
+
+    def test_shared_property(self):
+        p, _ = profile_of([0, 0], [0, 0], [0, 1])
+        d = p.access_distribution("page")
+        assert d.shared == pytest.approx(1.0)
+
+
+class TestFootprints:
+    def test_shared_footprint_counts_accessors_minus_one(self):
+        # Page 0 accessed by 3 GPUs -> cover cost 2 pages.
+        p, cfg = profile_of([0, 0, 0], [0, 0, 0], [0, 1, 2])
+        assert p.shared_footprint_bytes() == 2 * cfg.page_bytes
+
+    def test_private_pages_cost_nothing(self):
+        p, cfg = profile_of([0, 16], [0, 0], [0, 0])
+        assert p.shared_footprint_bytes() == 0
+
+    def test_footprint_bytes(self):
+        p, cfg = profile_of([0, 16, 32], [0, 0, 0], [0, 0, 0])
+        assert p.footprint_bytes() == 3 * cfg.page_bytes
+
+    def test_sorted_access_counts_descending(self):
+        p, _ = profile_of([0, 0, 0, 16], [0, 0, 0, 0], [0, 0, 0, 0])
+        assert p.sorted_page_access_counts() == [3, 1]
+
+
+class TestPolicyInputs:
+    def test_ro_shared_pages(self):
+        p, _ = profile_of([0, 0, 16, 16], [0, 0, 0, 1], [0, 1, 0, 1])
+        assert p.ro_shared_pages() == {0}
+        assert p.shared_pages() == {0, 1}
+
+    def test_accessors_of_page(self):
+        p, _ = profile_of([0, 0], [0, 0], [1, 3])
+        assert p.accessors_of_page(0) == [1, 3]
+        assert p.accessors_of_page(42) == []
+
+
+class TestMultiKernel:
+    def test_sharing_accumulates_across_kernels(self):
+        cfg = small_config()
+        k0 = make_kernel([0], writes=[0], cta_ids=[0], kernel_id=0)
+        k1 = make_kernel([0], writes=[0], cta_ids=[3], kernel_id=1)
+        p = profile_sharing(make_trace([k0, k1]), cfg)
+        assert p.classify_page(0) == RO_SHARED
+
+    def test_access_counts_accumulate(self):
+        cfg = small_config()
+        k0 = make_kernel([0, 0], writes=[0, 0], cta_ids=[0, 0])
+        k1 = make_kernel([0], writes=[0], cta_ids=[0], kernel_id=1)
+        p = profile_sharing(make_trace([k0, k1]), cfg)
+        assert p.page_access_counts[0] == 3

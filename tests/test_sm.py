@@ -1,0 +1,55 @@
+"""Tests for the SM compute model."""
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.gpu.sm import ComputeModel
+
+
+@pytest.fixture
+def model() -> ComputeModel:
+    return ComputeModel(GpuConfig())
+
+
+class TestThroughput:
+    def test_peak_rate(self, model):
+        assert model.peak_instr_per_s == 64e9
+
+    def test_compute_time(self, model):
+        assert model.compute_time_s(64e9) == pytest.approx(1.0)
+
+    def test_zero_instructions(self, model):
+        assert model.compute_time_s(0) == 0.0
+
+    def test_negative_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.compute_time_s(-1)
+
+
+class TestConcurrency:
+    def test_scales_with_sms(self, model):
+        assert model.concurrency(4.0) == 4.0 * 64
+
+    def test_capped_by_warps(self, model):
+        assert model.concurrency(1000.0) == 64 * 64
+
+    def test_nonpositive_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.concurrency(0)
+
+
+class TestOccupancy:
+    def test_full(self, model):
+        assert model.occupancy(warps_per_cta=64, ctas_resident=64) == 1.0
+
+    def test_partial(self, model):
+        assert model.occupancy(warps_per_cta=32, ctas_resident=64) == 0.5
+
+    def test_clamped_at_one(self, model):
+        assert model.occupancy(warps_per_cta=64, ctas_resident=1000) == 1.0
+
+    def test_invalid_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.occupancy(0, 4)
+        with pytest.raises(ValueError):
+            model.occupancy(4, -1)

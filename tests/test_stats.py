@@ -1,0 +1,91 @@
+"""Tests for the statistics containers."""
+
+import pytest
+
+from repro.config import LINE_BYTES
+from repro.perf.stats import GpuKernelStats, KernelStats, RunResult
+
+
+class TestGpuKernelStats:
+    def test_reads_derived(self):
+        st = GpuKernelStats(accesses=10, writes=3)
+        assert st.reads == 7
+
+    def test_dram_bytes(self):
+        st = GpuKernelStats(dram_reads=4, dram_writes=1)
+        assert st.dram_bytes == 5 * LINE_BYTES
+
+    def test_remote_fraction(self):
+        st = GpuKernelStats(remote_reads=2, remote_writes=1,
+                            local_reads=6, local_writes=1)
+        assert st.remote_fraction == pytest.approx(0.3)
+
+    def test_remote_fraction_no_demand(self):
+        assert GpuKernelStats().remote_fraction == 0.0
+
+    def test_rdc_hit_rate(self):
+        st = GpuKernelStats(rdc_hits=3, rdc_misses=1)
+        assert st.rdc_hit_rate == pytest.approx(0.75)
+
+    def test_merge_adds_every_field(self):
+        a = GpuKernelStats(accesses=1, latency_ns=5.0, rdc_hits=2)
+        b = GpuKernelStats(accesses=2, latency_ns=1.0, rdc_hits=1)
+        a.merge(b)
+        assert a.accesses == 3
+        assert a.latency_ns == 6.0
+        assert a.rdc_hits == 3
+
+
+class TestKernelStats:
+    def test_auto_initialises_per_gpu(self):
+        ks = KernelStats(0, 4, 1.0, 32.0)
+        assert len(ks.gpus) == 4
+        assert len(ks.link_bytes) == 4
+
+    def test_total_merges_gpus(self):
+        ks = KernelStats(0, 2, 1.0, 32.0)
+        ks.gpus[0].accesses = 3
+        ks.gpus[1].accesses = 4
+        assert ks.total().accesses == 7
+
+    def test_link_directions(self):
+        ks = KernelStats(0, 3, 1.0, 32.0)
+        ks.link_bytes[0][1] = 100
+        ks.link_bytes[2][0] = 30
+        assert ks.link_out_bytes(0) == 100
+        assert ks.link_in_bytes(0) == 30
+        assert ks.max_link_bytes(0) == 100
+
+    def test_max_link_single_gpu(self):
+        ks = KernelStats(0, 1, 1.0, 32.0)
+        assert ks.max_link_bytes(0) == 0
+
+
+class TestRunResult:
+    def _result(self):
+        r = RunResult("wl", "cfg", 2)
+        warm = KernelStats(0, 2, 1.0, 32.0, warmup=True)
+        warm.gpus[0].accesses = 100
+        main = KernelStats(1, 2, 1.0, 32.0)
+        main.gpus[0].accesses = 10
+        r.kernels = [warm, main]
+        return r
+
+    def test_total_skips_warmup(self):
+        assert self._result().total().accesses == 10
+
+    def test_total_can_include_warmup(self):
+        assert self._result().total(include_warmup=True).accesses == 110
+
+    def test_measured_kernels(self):
+        r = self._result()
+        assert [k.kernel_id for k in r.measured_kernels()] == [1]
+
+    def test_replication_pressure(self):
+        r = RunResult("wl", "cfg", 2)
+        r.pages_mapped = [10, 10]
+        r.pages_replicated = [5, 5]
+        assert r.replication_pressure == pytest.approx(1.5)
+
+    def test_replication_pressure_empty(self):
+        assert RunResult("wl", "cfg", 2).replication_pressure == 1.0

@@ -1,0 +1,105 @@
+"""Tests for the Table II benchmark suite definitions."""
+
+import pytest
+
+from repro.workloads import suite
+from repro.workloads.base import generate_trace, trace_cost_estimate
+from tests.conftest import small_config
+
+
+class TestSuiteShape:
+    def test_twenty_workloads(self):
+        assert len(suite.SUITE) == 20
+
+    def test_abbreviations_unique(self):
+        assert len(suite.BY_ABBR) == 20
+
+    def test_every_workload_has_a_group(self):
+        assert set(suite.GROUPS) == set(suite.BY_ABBR)
+
+    def test_group_sizes_match_paper(self):
+        """Fig. 2: 8 benign, 3 fixed by RO replication, rest need RW."""
+        groups = list(suite.GROUPS.values())
+        assert groups.count(suite.GROUP_LOW_NUMA) == 8
+        assert groups.count(suite.GROUP_RO_FIXED) == 3
+        assert groups.count(suite.GROUP_RW_SHARED) == 8
+        assert groups.count(suite.GROUP_LATENCY) == 1
+
+    def test_suites_match_table2(self):
+        by_suite = {}
+        for w in suite.SUITE:
+            by_suite.setdefault(w.suite, []).append(w.abbr)
+        assert len(by_suite["HPC"]) == 13
+        assert len(by_suite["ML"]) == 3
+        assert len(by_suite["Other"]) == 4
+
+    def test_footprints_match_table2_extremes(self):
+        assert suite.get("RandAccess").footprint_bytes == 15 * 2**30
+        assert suite.get("Lulesh").footprint_bytes == 24 * 2**20
+
+    def test_lookup_by_abbr(self):
+        assert suite.get("XSBench").name == "XSBench_17K_grid"
+
+    def test_unknown_abbr(self):
+        with pytest.raises(KeyError):
+            suite.get("DOOM")
+
+    def test_all_abbrs_order_matches_suite(self):
+        assert suite.all_abbrs() == [w.abbr for w in suite.SUITE]
+
+
+class TestTable2Rows:
+    def test_row_count(self):
+        assert len(suite.table2_rows()) == 20
+
+    def test_footprint_formatting(self):
+        rows = {abbr: fp for (_, _, abbr, fp) in suite.table2_rows()}
+        assert rows["RandAccess"] == "15.0 GB"
+        assert rows["Lulesh"] == "24 MB"
+
+
+class TestGroupCharacteristics:
+    def test_ro_group_has_no_rw_pages(self):
+        for abbr, group in suite.GROUPS.items():
+            if group == suite.GROUP_RO_FIXED:
+                assert suite.get(abbr).rw_page_frac == 0.0
+
+    def test_rw_group_has_rw_pages_and_shared_traffic(self):
+        for abbr, group in suite.GROUPS.items():
+            if group == suite.GROUP_RW_SHARED:
+                w = suite.get(abbr)
+                assert w.rw_page_frac > 0.5
+                assert w.shared_access_frac >= 0.3
+
+    def test_low_numa_group_is_benign(self):
+        """Either little shared traffic or strongly compute-bound."""
+        for abbr, group in suite.GROUPS.items():
+            if group == suite.GROUP_LOW_NUMA:
+                w = suite.get(abbr)
+                assert w.shared_access_frac <= 0.1 or w.instr_per_access >= 100
+
+    def test_latency_outlier_is_low_mlp(self):
+        assert suite.get("RandAccess").concurrency_per_sm <= 8
+
+    def test_false_sharing_prevails_in_rw_group(self):
+        """Line-level writes are rare even where pages are read-write."""
+        for abbr, group in suite.GROUPS.items():
+            if group == suite.GROUP_RW_SHARED:
+                assert suite.get(abbr).shared_write_frac <= 0.1
+
+
+class TestSuiteGeneratability:
+    def test_every_spec_generates(self):
+        cfg = small_config()
+        for w in suite.SUITE:
+            cheap = w.scaled(
+                n_kernels=1, warmup_kernels=0,
+                min_accesses=500, max_accesses=1000,
+            )
+            t = generate_trace(cheap, cfg)
+            assert t.n_accesses > 0
+
+    def test_total_suite_cost_is_tractable(self):
+        cfg = small_config()
+        total = sum(trace_cost_estimate(w, cfg) for w in suite.SUITE)
+        assert total < 8_000_000  # full-suite runs stay minutes, not hours

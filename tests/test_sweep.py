@@ -1,0 +1,108 @@
+"""Tests for the parameter-sweep utilities."""
+
+import pytest
+
+from repro.config import LinkConfig, baseline_config
+from repro.sim.sweep import reprice_sweep, run_sweep
+from repro.workloads.base import WorkloadSpec
+
+GB = 2**30
+
+
+def fast_spec():
+    return WorkloadSpec(
+        name="sweep", abbr="sweep", suite="HPC",
+        footprint_bytes=2**20 * 1024,
+        n_kernels=2, warmup_kernels=1, n_ctas=8,
+        coverage=0.6, min_accesses=1500, max_accesses=2500,
+        shared_page_frac=0.5, shared_access_frac=0.6,
+        rw_page_frac=0.8, instr_per_access=5.0,
+    )
+
+
+WL = [fast_spec()]
+WL_NAMES = [fast_spec()]  # run_workload accepts specs directly
+
+
+class TestRunSweep:
+    def test_rdc_size_sweep_monotone(self):
+        base = baseline_config()
+        sweep = run_sweep(
+            "rdc",
+            [0.25 * GB, 2 * GB],
+            lambda v: base.with_rdc(int(v)),
+            WL_NAMES,
+            use_cache=False,
+        )
+        spec = WL_NAMES[0]
+        t_small = sweep.time(0.25 * GB, spec.abbr)
+        t_big = sweep.time(2 * GB, spec.abbr)
+        assert t_big <= t_small * 1.05
+
+    def test_series_and_points(self):
+        base = baseline_config()
+        sweep = run_sweep(
+            "gpus", [2, 4], lambda v: base.replace(n_gpus=int(v)),
+            WL_NAMES, use_cache=False,
+        )
+        series = sweep.series(WL_NAMES[0].abbr)
+        assert set(series) == {2, 4}
+        assert all(t > 0 for t in series.values())
+
+    def test_geomean_speedup_vs_pinned_baseline(self):
+        base = baseline_config()
+        numa = run_sweep("numa", [0.0], lambda v: base, WL_NAMES,
+                         use_cache=False)
+        carve = run_sweep(
+            "rdc", [2 * GB], lambda v: base.with_rdc(int(v)), WL_NAMES,
+            use_cache=False,
+        )
+        sp = carve.geomean_speedup_vs(numa, baseline_value=0.0)
+        assert sp[2 * GB] > 1.0
+
+
+class TestRepriceSweep:
+    def test_link_bandwidth_repricing(self):
+        base = baseline_config()
+
+        def priced(bw):
+            return base.replace(link=LinkConfig(inter_gpu_bytes_per_s=bw))
+
+        sweep = reprice_sweep(
+            "bw", [32e9, 256e9], base, priced, WL_NAMES, use_cache=False
+        )
+        abbr = WL_NAMES[0].abbr
+        assert sweep.time(32e9, abbr) > sweep.time(256e9, abbr)
+
+    def test_repricing_shares_one_simulation(self):
+        base = baseline_config()
+
+        def priced(bw):
+            return base.replace(link=LinkConfig(inter_gpu_bytes_per_s=bw))
+
+        sweep = reprice_sweep(
+            "bw", [32e9, 64e9], base, priced, WL_NAMES, use_cache=False
+        )
+        abbr = WL_NAMES[0].abbr
+        assert (
+            sweep.points[(32e9, abbr)].result
+            is sweep.points[(64e9, abbr)].result
+        )
+
+    def test_traffic_affecting_change_rejected(self):
+        base = baseline_config()
+        with pytest.raises(ValueError):
+            reprice_sweep(
+                "bad", [2.0], base,
+                lambda v: base.replace(n_gpus=2),
+                WL_NAMES, use_cache=False,
+            )
+
+    def test_rdc_change_rejected(self):
+        base = baseline_config().with_rdc()
+        with pytest.raises(ValueError):
+            reprice_sweep(
+                "bad", [1.0], base,
+                lambda v: base.with_rdc(int(v * GB)),
+                WL_NAMES, use_cache=False,
+            )

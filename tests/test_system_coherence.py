@@ -1,0 +1,127 @@
+"""Coherence behaviour of the full system model."""
+
+from repro.config import (
+    COHERENCE_DIRECTORY,
+    COHERENCE_HARDWARE,
+    COHERENCE_NONE,
+    COHERENCE_SOFTWARE,
+    INVALIDATE_MSG_BYTES,
+)
+from repro.numa.system import MultiGpuSystem
+from tests.conftest import tiny_rdc_config
+
+LINE = 3
+
+
+def carve_system(coherence) -> MultiGpuSystem:
+    cfg = tiny_rdc_config(coherence=coherence, imst_demote_prob=0.0)
+    return MultiGpuSystem(cfg)
+
+
+def share_line(s: MultiGpuSystem, readers=(1, 2)):
+    """Home LINE at GPU 0 and cache it remotely at *readers*."""
+    s.access(0, LINE, False)
+    for g in readers:
+        s.access(g, LINE, False)
+
+
+class TestHardwareCoherence:
+    def test_shared_write_broadcasts(self):
+        s = carve_system(COHERENCE_HARDWARE)
+        share_line(s)
+        ks = s.access(0, LINE, True)  # home writes a shared line
+        assert ks.gpus[0].invalidates_sent == 3
+        # Invalidate messages cross the three peer links.
+        for p in (1, 2, 3):
+            assert ks.link_bytes[0][p] == INVALIDATE_MSG_BYTES
+
+    def test_invalidation_removes_peer_rdc_copy(self):
+        s = carve_system(COHERENCE_HARDWARE)
+        share_line(s)
+        assert s.nodes[1].carve.rdc.contains(LINE)
+        s.access(0, LINE, True)
+        assert not s.nodes[1].carve.rdc.contains(LINE)
+
+    def test_invalidation_removes_peer_llc_copy(self):
+        s = carve_system(COHERENCE_HARDWARE)
+        share_line(s)
+        assert s.nodes[1].l2.contains(LINE)
+        s.access(0, LINE, True)
+        assert not s.nodes[1].l2.contains(LINE)
+
+    def test_private_write_is_silent(self):
+        s = carve_system(COHERENCE_HARDWARE)
+        s.access(0, LINE, False)  # private to GPU 0
+        ks = s.access(0, LINE, True)
+        assert ks.gpus[0].invalidates_sent == 0
+
+    def test_peer_refetches_after_invalidation(self):
+        s = carve_system(COHERENCE_HARDWARE)
+        share_line(s)
+        s.access(0, LINE, True)
+        ks = s.access(1, LINE, False)
+        assert ks.gpus[1].remote_reads == 1  # forced back to the home
+
+    def test_writer_keeps_its_own_copy(self):
+        s = carve_system(COHERENCE_HARDWARE)
+        share_line(s)
+        s.access(1, LINE, True)  # remote writer
+        # GPU 1 wrote: its own RDC copy must survive (it has fresh data).
+        assert s.nodes[1].carve.rdc.contains(LINE)
+        assert not s.nodes[2].carve.rdc.contains(LINE)
+
+
+class TestNoCoherence:
+    def test_no_invalidations_ever(self):
+        s = carve_system(COHERENCE_NONE)
+        share_line(s)
+        ks = s.access(0, LINE, True)
+        assert ks.gpus[0].invalidates_sent == 0
+        assert s.nodes[1].carve.rdc.contains(LINE)  # stale but resident
+
+
+class TestSoftwareCoherence:
+    def test_no_in_kernel_invalidations(self):
+        s = carve_system(COHERENCE_SOFTWARE)
+        share_line(s)
+        ks = s.access(0, LINE, True)
+        assert ks.gpus[0].invalidates_sent == 0
+
+    def test_rdc_flushed_at_kernel_boundary(self):
+        s = carve_system(COHERENCE_SOFTWARE)
+        share_line(s)
+        assert s.nodes[1].carve.rdc.contains(LINE)
+        s.kernel_boundary()
+        assert not s.nodes[1].carve.rdc.contains(LINE)
+
+
+class TestDirectoryCoherence:
+    def test_targeted_invalidation(self):
+        s = carve_system(COHERENCE_DIRECTORY)
+        share_line(s, readers=(2,))
+        ks = s.access(0, LINE, True)
+        assert ks.gpus[0].invalidates_sent == 1
+        assert ks.link_bytes[0][2] == INVALIDATE_MSG_BYTES
+        assert ks.link_bytes[0][1] == 0
+        assert ks.link_bytes[0][3] == 0
+
+    def test_sharer_set_cleared_after_invalidation(self):
+        s = carve_system(COHERENCE_DIRECTORY)
+        share_line(s, readers=(2,))
+        s.access(0, LINE, True)
+        ks = s.access(0, LINE, True)  # no sharers left
+        assert ks.gpus[0].invalidates_sent == 0
+
+    def test_rdc_retained_across_kernels(self):
+        s = carve_system(COHERENCE_DIRECTORY)
+        share_line(s, readers=(2,))
+        s.kernel_boundary()
+        assert s.nodes[2].carve.rdc.contains(LINE)
+
+
+class TestBaselineSoftwareCoherence:
+    def test_numa_gpu_uses_software_coherence(self):
+        from tests.conftest import small_config
+
+        s = MultiGpuSystem(small_config())
+        assert s.protocol.name == COHERENCE_SOFTWARE

@@ -1,0 +1,137 @@
+"""Kernel-level execution: boundaries, stats aggregation, streams."""
+
+import numpy as np
+
+from repro.config import COHERENCE_HARDWARE, COHERENCE_SOFTWARE, WRITE_BACK
+from repro.numa.system import MultiGpuSystem
+from tests.conftest import make_kernel, make_trace, small_config, tiny_rdc_config
+
+
+def kernel_all_gpus(lines_per_gpu, writes=False, kernel_id=0, **kw):
+    """A kernel whose CTA i runs on GPU i (4 CTAs, contiguous schedule)."""
+    lines, ctas, wr = [], [], []
+    for cta, ls in enumerate(lines_per_gpu):
+        for ln in ls:
+            lines.append(ln)
+            ctas.append(cta)
+            wr.append(writes)
+    return make_kernel(lines, writes=wr, cta_ids=ctas, n_ctas=4,
+                       kernel_id=kernel_id, **kw)
+
+
+class TestKernelBoundary:
+    def test_l1_invalidated(self):
+        s = MultiGpuSystem(small_config())
+        s.access(0, 7, False)
+        s.kernel_boundary()
+        assert not s.nodes[0].l1.contains(7)
+
+    def test_l2_remote_lines_dropped_local_kept(self):
+        s = MultiGpuSystem(small_config())
+        s.access(0, 7, False)    # local at GPU 0
+        s.access(1, 7, False)    # remote copy in GPU 1's L2
+        s.kernel_boundary()
+        assert s.nodes[0].l2.contains(7)
+        assert not s.nodes[1].l2.contains(7)
+
+    def test_hwc_rdc_survives_boundary(self):
+        s = MultiGpuSystem(tiny_rdc_config(coherence=COHERENCE_HARDWARE))
+        s.access(0, 7, False)
+        s.access(1, 7, False)
+        s.kernel_boundary()
+        assert s.nodes[1].carve.rdc.contains(7)
+
+    def test_swc_writeback_rdc_flushes_dirty_home(self):
+        cfg = tiny_rdc_config(
+            coherence=COHERENCE_SOFTWARE, write_policy=WRITE_BACK
+        )
+        s = MultiGpuSystem(cfg)
+        s.access(0, 7, False)
+        s.access(1, 7, False)   # RDC fill at GPU 1
+        s.access(1, 7, True)    # dirty in GPU 1's RDC (write-back defers)
+        home_writes_before = s.nodes[0].dram.stats.writes
+        s.kernel_boundary()
+        assert s.nodes[0].dram.stats.writes == home_writes_before + 1
+
+
+class TestRunKernel:
+    def test_stats_per_gpu(self):
+        s = MultiGpuSystem(small_config())
+        k = kernel_all_gpus([[0], [100], [200], [300]])
+        ks = s.run_kernel(k)
+        for g in range(4):
+            assert ks.gpus[g].accesses == 1
+            assert ks.gpus[g].local_reads == 1
+
+    def test_instructions_follow_intensity(self):
+        s = MultiGpuSystem(small_config())
+        k = kernel_all_gpus([[0, 1], [100, 101], [], []],
+                            instr_per_access=5.0)
+        ks = s.run_kernel(k)
+        assert ks.gpus[0].instructions == 10.0
+
+    def test_dram_counters_are_per_kernel_deltas(self):
+        s = MultiGpuSystem(small_config())
+        k0 = kernel_all_gpus([[0], [], [], []])
+        k1 = kernel_all_gpus([[1], [], [], []], kernel_id=1)
+        ks0 = s.run_kernel(k0)
+        ks1 = s.run_kernel(k1)
+        assert ks0.gpus[0].dram_reads == 1
+        assert ks1.gpus[0].dram_reads == 1  # not cumulative
+
+    def test_link_matrix_snapshot_per_kernel(self):
+        s = MultiGpuSystem(small_config())
+        k0 = kernel_all_gpus([[0], [], [], []])
+        s.run_kernel(k0)
+        # Kernel 1: GPU 1 reads GPU 0's line.
+        k1 = kernel_all_gpus([[], [0], [], []], kernel_id=1)
+        ks1 = s.run_kernel(k1)
+        assert ks1.link_bytes[1][0] > 0
+        k2 = kernel_all_gpus([[], [], [200], []], kernel_id=2)
+        ks2 = s.run_kernel(k2)
+        assert sum(sum(r) for r in ks2.link_bytes) == 0
+
+    def test_warmup_flag_propagates(self):
+        s = MultiGpuSystem(small_config())
+        k = kernel_all_gpus([[0], [], [], []])
+        k.warmup = True
+        assert s.run_kernel(k).warmup
+
+
+class TestRunTrace:
+    def test_run_result_structure(self):
+        s = MultiGpuSystem(small_config())
+        trace = make_trace([
+            kernel_all_gpus([[0], [100], [200], [300]]),
+            kernel_all_gpus([[1], [101], [201], [301]], kernel_id=1),
+        ])
+        result = s.run(trace)
+        assert len(result.kernels) == 2
+        assert len(result.pages_mapped) == 4
+        assert sum(result.pages_mapped) == s.pagetable.total_pages
+
+    def test_remote_pages_touched_measures_shared_footprint(self):
+        s = MultiGpuSystem(small_config())
+        trace = make_trace([
+            kernel_all_gpus([[0], [0], [0], [0]]),  # page 0 shared by all
+        ])
+        result = s.run(trace)
+        # Three GPUs fetched page 0 remotely.
+        assert sum(result.remote_pages_touched) == 3
+
+    def test_inter_kernel_reuse_visible_only_with_hw_coherence(self):
+        """The crux of Fig. 11: SWC refetches, HWC retains."""
+        lines = list(range(0, 64))
+        shared_kernels = lambda: [
+            kernel_all_gpus([lines, lines, [], []], kernel_id=i)
+            for i in range(3)
+        ]
+        swc = MultiGpuSystem(tiny_rdc_config(coherence=COHERENCE_SOFTWARE))
+        hwc = MultiGpuSystem(tiny_rdc_config(coherence=COHERENCE_HARDWARE))
+        r_swc = swc.run(make_trace(shared_kernels()))
+        r_hwc = hwc.run(make_trace(shared_kernels()))
+        # Later kernels: HWC serves shared reuse from the RDC, SWC goes
+        # back over the link every kernel.
+        swc_last = r_swc.kernels[-1].total()
+        hwc_last = r_hwc.kernels[-1].total()
+        assert hwc_last.remote_reads < swc_last.remote_reads

@@ -1,0 +1,112 @@
+"""Stream, TLB, and placement behaviour of the full system."""
+
+from repro.config import (
+    COHERENCE_SOFTWARE,
+    PLACEMENT_INTERLEAVED,
+    PLACEMENT_ROUND_ROBIN,
+)
+from repro.numa.system import MultiGpuSystem
+from tests.conftest import make_kernel, make_trace, small_config, tiny_rdc_config
+
+
+def kernel_on_gpu0(lines, stream=0, kernel_id=0, writes=None):
+    return make_kernel(
+        lines,
+        writes=writes,
+        cta_ids=[0] * len(lines),
+        n_ctas=4,
+        kernel_id=kernel_id,
+        stream=stream,
+    )
+
+
+class TestStreams:
+    def test_per_stream_epoch_isolation(self):
+        """A kernel boundary on stream 0 must not flush stream 1's RDC."""
+        s = MultiGpuSystem(tiny_rdc_config(coherence=COHERENCE_SOFTWARE))
+        # Home line 3 at GPU 3, then cache it at GPU 0 under stream 1.
+        s.access(3, 3, False)
+        k = kernel_on_gpu0([3], stream=1)
+        s._stream = 1
+        s.run_kernel(k)  # boundary advances stream 1's epoch only
+        # Re-install under stream 1 and bound stream 0: copy survives.
+        s._stream = 1
+        s.access(0, 3, False)
+        carve = s.nodes[0].carve
+        assert carve.rdc.contains(3, stream=1)
+        carve.kernel_boundary(stream=0)
+        assert carve.rdc.contains(3, stream=1)
+        carve.kernel_boundary(stream=1)
+        assert not carve.rdc.contains(3, stream=1)
+
+    def test_stream_recorded_from_kernel(self):
+        s = MultiGpuSystem(small_config())
+        s.run_kernel(kernel_on_gpu0([5], stream=7))
+        assert s._stream == 7
+
+
+class TestTlbModelling:
+    def test_tlb_enabled_counts_walks(self):
+        cfg = small_config(model_tlb=True)
+        s = MultiGpuSystem(cfg)
+        s.access(0, 0, False)
+        s.access(0, 1, False)  # same page: L1 TLB hit
+        stats = s.nodes[0].tlb.stats
+        assert stats.walks == 1
+        assert stats.l1_hits == 1
+
+    def test_tlb_disabled_by_default(self):
+        s = MultiGpuSystem(small_config())
+        assert s.nodes[0].tlb is None
+
+    def test_migration_shoots_down_tlbs(self):
+        cfg = small_config(model_tlb=True, migration=True,
+                           migration_threshold=1)
+        s = MultiGpuSystem(cfg)
+        s.access(0, 5, False)
+        s.access(1, 5, False)  # migrates page 0 to GPU 1
+        # GPU 0 must re-walk for the migrated page.
+        walks_before = s.nodes[0].tlb.stats.walks
+        s.access(0, 5, False)
+        assert s.nodes[0].tlb.stats.walks == walks_before + 1
+
+
+class TestPlacementPolicies:
+    def _one_gpu_trace(self):
+        # GPU 0 touches four different pages (16 lines/page).
+        return make_trace([kernel_on_gpu0([0, 16, 32, 48])])
+
+    def test_round_robin_spreads_homes(self):
+        cfg = small_config(placement=PLACEMENT_ROUND_ROBIN)
+        s = MultiGpuSystem(cfg)
+        s.run(self._one_gpu_trace())
+        homes = {s.pagetable.peek_home(p) for p in range(4)}
+        assert homes == {0, 1, 2, 3}
+
+    def test_interleaved_hashes_pages(self):
+        cfg = small_config(placement=PLACEMENT_INTERLEAVED)
+        s = MultiGpuSystem(cfg)
+        s.run(self._one_gpu_trace())
+        for p in range(4):
+            assert s.pagetable.peek_home(p) == p % 4
+
+    def test_first_touch_keeps_everything_local(self):
+        s = MultiGpuSystem(small_config())
+        result = s.run(self._one_gpu_trace())
+        assert result.total(include_warmup=True).remote_reads == 0
+
+
+class TestLabels:
+    def test_default_labels_describe_config(self):
+        assert MultiGpuSystem(small_config()).label == "numa-gpu"
+        assert MultiGpuSystem(
+            small_config().single_gpu()
+        ).label == "single-gpu"
+        assert "carve" in MultiGpuSystem(tiny_rdc_config()).label
+        assert "mig" in MultiGpuSystem(
+            small_config(migration=True)
+        ).label
+
+    def test_explicit_label_wins(self):
+        s = MultiGpuSystem(small_config(), label="custom")
+        assert s.label == "custom"

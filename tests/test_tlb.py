@@ -1,0 +1,68 @@
+"""Tests for the TLB hierarchy."""
+
+from repro.memory.tlb import TlbHierarchy
+
+
+class TestTranslate:
+    def test_cold_miss_walks(self):
+        t = TlbHierarchy()
+        assert not t.translate(1)
+        assert t.stats.walks == 1
+
+    def test_second_access_hits_l1(self):
+        t = TlbHierarchy()
+        t.translate(1)
+        assert t.translate(1)
+        assert t.stats.l1_hits == 1
+
+    def test_l2_backstop(self):
+        t = TlbHierarchy(l1_entries=2, l2_entries=64)
+        t.translate(1)
+        t.translate(2)
+        t.translate(3)  # evicts 1 from tiny L1
+        assert t.translate(1)  # L2 hit refills L1
+        assert t.stats.l2_hits == 1
+
+    def test_hit_rates(self):
+        t = TlbHierarchy()
+        t.translate(1)
+        t.translate(1)
+        t.translate(1)
+        assert t.stats.l1_hit_rate > 0.6
+        assert t.stats.overall_hit_rate > 0.6
+
+    def test_rates_zero_when_untouched(self):
+        t = TlbHierarchy()
+        assert t.stats.l1_hit_rate == 0.0
+        assert t.stats.overall_hit_rate == 0.0
+
+
+class TestShootdownAndFlush:
+    def test_shootdown_removes_both_levels(self):
+        t = TlbHierarchy()
+        t.translate(7)
+        t.shootdown(7)
+        assert not t.translate(7)  # walks again
+        assert t.stats.walks == 2
+
+    def test_shootdown_absent_is_noop(self):
+        t = TlbHierarchy()
+        t.shootdown(42)
+
+    def test_flush_clears_everything(self):
+        t = TlbHierarchy()
+        for p in range(10):
+            t.translate(p)
+        t.flush()
+        assert not t.translate(0)
+
+
+class TestReach:
+    def test_reach_at_2mb_pages(self):
+        t = TlbHierarchy(l2_entries=1024)
+        # 1024 entries x 2 MB = 2 GB: why the paper keeps large pages.
+        assert t.reach_bytes(2 * 2**20) == 2 * 2**30
+
+    def test_reach_collapses_at_4kb_pages(self):
+        t = TlbHierarchy(l2_entries=1024)
+        assert t.reach_bytes(4 * 2**10) == 4 * 2**20

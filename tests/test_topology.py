@@ -1,0 +1,102 @@
+"""Tests for the interconnect-topology pricing extension."""
+
+import pytest
+
+from repro.config import (
+    TOPOLOGY_P2P,
+    TOPOLOGY_SWITCH,
+    ConfigError,
+    LinkConfig,
+    SystemConfig,
+)
+from repro.perf.model import PerformanceModel
+from repro.perf.stats import GpuKernelStats, KernelStats, RunResult
+from tests.conftest import small_config
+
+
+def switch_config(port_bw=64e9) -> SystemConfig:
+    return small_config(
+        link=LinkConfig(inter_gpu_bytes_per_s=port_bw, topology=TOPOLOGY_SWITCH)
+    )
+
+
+def link_kernel(loads: dict) -> KernelStats:
+    """A kernel whose only cost is the given (src, dst) -> bytes loads."""
+    ks = KernelStats(0, 4, 1.0, 32.0)
+    for (src, dst), n in loads.items():
+        ks.link_bytes[src][dst] = n
+    return ks
+
+
+def run_of(ks) -> RunResult:
+    r = RunResult("t", "t", 4)
+    r.kernels = [ks]
+    return r
+
+
+class TestConfig:
+    def test_default_is_p2p(self):
+        assert LinkConfig().topology == TOPOLOGY_P2P
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigError):
+            LinkConfig(topology="torus").validate()
+
+
+class TestPricing:
+    def test_skewed_traffic_same_on_both(self):
+        """All bytes on one pair: one link == one port."""
+        ks = link_kernel({(0, 1): 64 * 10**9})
+        t_p2p = PerformanceModel(small_config()).kernel_time(ks)
+        t_sw = PerformanceModel(switch_config()).kernel_time(ks)
+        assert t_p2p.per_gpu[0] == pytest.approx(t_sw.per_gpu[0])
+
+    def test_spread_traffic_prefers_mesh(self):
+        """Bytes spread over three peers: mesh aggregates, port serialises."""
+        ks = link_kernel({(0, 1): 10**9, (0, 2): 10**9, (0, 3): 10**9})
+        t_p2p = PerformanceModel(small_config()).kernel_time(ks)
+        t_sw = PerformanceModel(switch_config()).kernel_time(ks)
+        assert t_sw.per_gpu[0] == pytest.approx(3 * t_p2p.per_gpu[0])
+
+    def test_switch_port_counts_both_directions_independently(self):
+        ks = link_kernel({(0, 1): 2 * 10**9, (2, 0): 3 * 10**9})
+        model = PerformanceModel(switch_config(port_bw=1e9))
+        kt = model.kernel_time(ks)
+        # GPU 0's port: out 2 GB, in 3 GB -> the max binds.
+        assert kt.per_gpu[0] == pytest.approx(3.0)
+
+    def test_fat_port_matches_mesh(self):
+        ks = link_kernel({(0, 1): 10**9, (0, 2): 10**9, (0, 3): 10**9})
+        mesh = PerformanceModel(small_config()).kernel_time(ks)
+        fat = PerformanceModel(switch_config(port_bw=3 * 64e9)).kernel_time(ks)
+        assert fat.per_gpu[0] == pytest.approx(mesh.per_gpu[0])
+
+    def test_single_gpu_has_no_link_term(self):
+        cfg = switch_config().single_gpu()
+        ks = KernelStats(0, 1, 1.0, 32.0)
+        ks.gpus[0] = GpuKernelStats(instructions=1.0)
+        kt = PerformanceModel(cfg).kernel_time(ks)
+        assert kt.bottlenecks[0] != "link"
+
+
+class TestRepricing:
+    def test_topology_is_a_valid_repricing_axis(self):
+        """Topology changes pricing only, so reprice_sweep accepts it."""
+        from repro.sim.sweep import reprice_sweep
+        from repro.workloads.base import WorkloadSpec
+
+        spec = WorkloadSpec(
+            name="s", abbr="s", suite="HPC",
+            footprint_bytes=2**20 * 1024, n_kernels=1, warmup_kernels=0,
+            min_accesses=1000, max_accesses=1500,
+            shared_page_frac=0.5, shared_access_frac=0.6,
+        )
+        base = small_config()
+
+        def priced(v):
+            topo = TOPOLOGY_SWITCH if v else TOPOLOGY_P2P
+            return base.replace(link=LinkConfig(topology=topo))
+
+        sweep = reprice_sweep("topo", [0.0, 1.0], base, priced, [spec],
+                              use_cache=False)
+        assert sweep.time(1.0, "s") >= sweep.time(0.0, "s") * 0.99

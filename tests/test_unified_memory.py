@@ -1,0 +1,90 @@
+"""Tests for the Unified-Memory capacity-spill model (Table V(b))."""
+
+import pytest
+
+from repro.numa.unified_memory import (
+    assess_capacity_loss,
+    spilled_access_fraction,
+)
+from tests.conftest import small_config
+
+
+class TestSpilledAccessFraction:
+    def test_zero_spill(self):
+        assert spilled_access_fraction([10, 5, 1], 0.0) == 0.0
+
+    def test_full_spill(self):
+        assert spilled_access_fraction([10, 5, 1], 1.0) == 1.0
+
+    def test_coldest_pages_spill_first(self):
+        counts = [100, 10, 1, 1]  # hottest first
+        frac = spilled_access_fraction(counts, 0.5)
+        assert frac == pytest.approx(2 / 112)
+
+    def test_empty_histogram(self):
+        assert spilled_access_fraction([], 0.5) == 0.0
+
+    def test_rounding_to_zero_pages(self):
+        assert spilled_access_fraction([5] * 10, 0.01) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            spilled_access_fraction([1], 1.5)
+
+    def test_uniform_heat_proportional(self):
+        counts = [4] * 100
+        assert spilled_access_fraction(counts, 0.25) == pytest.approx(0.25)
+
+
+class TestAssessCapacityLoss:
+    def _counts(self):
+        # Strong heat skew: 10 hot pages, 90 cold pages.
+        return [1000] * 10 + [1] * 90
+
+    def test_no_spill_no_slowdown(self):
+        a = assess_capacity_loss(self._counts(), 0.0, small_config(), 1.0, 10090)
+        assert a.slowdown == 1.0
+        assert a.spilled_pages == 0
+
+    def test_slowdown_below_one_with_spill(self):
+        a = assess_capacity_loss(self._counts(), 0.5, small_config(), 1.0, 10090)
+        assert 0.0 < a.slowdown < 1.0
+
+    def test_monotone_in_spill_fraction(self):
+        cfg = small_config()
+        slows = [
+            assess_capacity_loss(self._counts(), f, cfg, 1.0, 10090).slowdown
+            for f in (0.1, 0.3, 0.6, 0.9)
+        ]
+        assert slows == sorted(slows, reverse=True)
+
+    def test_cold_spill_cheaper_than_hot_heat(self):
+        """Skewed heat makes the same spill fraction far cheaper."""
+        cfg = small_config()
+        skewed = assess_capacity_loss(self._counts(), 0.25, cfg, 1.0, 10090)
+        flat = assess_capacity_loss([100] * 100, 0.25, cfg, 1.0, 10000)
+        assert skewed.slowdown > flat.slowdown
+
+    def test_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            assess_capacity_loss([1], 0.1, small_config(), 0.0, 1)
+
+    def test_invalid_amplification(self):
+        with pytest.raises(ValueError):
+            assess_capacity_loss(
+                [1], 0.1, small_config(), 1.0, 1, transfer_amplification=0.5
+            )
+
+    def test_amplification_worsens_slowdown(self):
+        cfg = small_config()
+        lo = assess_capacity_loss([10] * 10, 0.5, cfg, 1.0, 100,
+                                  transfer_amplification=1.0)
+        hi = assess_capacity_loss([10] * 10, 0.5, cfg, 1.0, 100,
+                                  transfer_amplification=4.0)
+        assert hi.slowdown < lo.slowdown
+
+    def test_assessment_reports_inputs(self):
+        a = assess_capacity_loss([10] * 8, 0.25, small_config(), 1.0, 80)
+        assert a.spill_fraction == 0.25
+        assert a.spilled_pages == 2
+        assert a.spilled_access_fraction == pytest.approx(0.25)

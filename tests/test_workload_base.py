@@ -1,0 +1,187 @@
+"""Tests for workload specification and trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sharing import profile_sharing
+from repro.workloads.base import (
+    WorkloadSpec,
+    _resolve_layout,
+    expected_footprint_bytes,
+    generate_trace,
+    trace_cost_estimate,
+)
+from tests.conftest import small_config
+
+
+def spec(**kw) -> WorkloadSpec:
+    base = dict(
+        name="test", abbr="test", suite="HPC",
+        footprint_bytes=4 * 2**20 * 1024,  # 4 MB scaled at default scale
+        n_kernels=2, warmup_kernels=1, n_ctas=8,
+        coverage=1.0, min_accesses=2000, max_accesses=4000,
+    )
+    base.update(kw)
+    return WorkloadSpec(**base)
+
+
+class TestSpecValidation:
+    def test_valid_spec(self):
+        spec().scaled(shared_access_frac=0.5)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            spec(shared_access_frac=1.5)
+        with pytest.raises(ValueError):
+            spec(rw_page_frac=-0.1)
+
+    def test_footprint_positive(self):
+        with pytest.raises(ValueError):
+            spec(footprint_bytes=0)
+
+    def test_pattern_names_checked(self):
+        with pytest.raises(ValueError):
+            spec(private_pattern="spiral")
+        with pytest.raises(ValueError):
+            spec(shared_pattern="spiral")
+
+    def test_access_clamp_checked(self):
+        with pytest.raises(ValueError):
+            spec(min_accesses=100, max_accesses=50)
+
+    def test_warmup_nonnegative(self):
+        with pytest.raises(ValueError):
+            spec(warmup_kernels=-1)
+
+    def test_scaled_replaces_fields(self):
+        s = spec().scaled(seed=99)
+        assert s.seed == 99 and s.name == "test"
+
+
+class TestLayout:
+    def test_footprint_floor(self):
+        s = spec(footprint_bytes=1024, min_footprint_lines=4096)
+        layout = _resolve_layout(s, small_config())
+        assert layout.footprint_lines >= 4096
+
+    def test_private_and_shared_partition(self):
+        layout = _resolve_layout(spec(shared_page_frac=0.5), small_config())
+        assert layout.private_lines + layout.shared_lines == layout.footprint_lines
+        assert layout.shared_start == layout.private_lines
+
+    def test_writable_lines_inside_rw_pages(self):
+        s = spec(shared_page_frac=0.5, rw_page_frac=0.5, line_write_frac=0.1)
+        layout = _resolve_layout(s, small_config())
+        assert layout.writable_shared.size > 0
+        assert (layout.writable_shared >= layout.shared_start).all()
+        assert (
+            layout.writable_shared < layout.shared_start + layout.shared_lines
+        ).all()
+
+    def test_no_writable_lines_for_ro_workload(self):
+        s = spec(rw_page_frac=0.0)
+        layout = _resolve_layout(s, small_config())
+        assert layout.writable_shared.size == 0
+
+
+class TestGeneration:
+    def test_kernel_count_includes_warmup(self):
+        t = generate_trace(spec(), small_config())
+        assert t.n_kernels == 3  # 1 warmup + 2 measured
+        assert t.kernels[0].warmup
+        assert not t.kernels[1].warmup
+
+    def test_deterministic_for_same_seed(self):
+        t1 = generate_trace(spec(), small_config())
+        t2 = generate_trace(spec(), small_config())
+        for k1, k2 in zip(t1.kernels, t2.kernels):
+            assert np.array_equal(k1.lines, k2.lines)
+            assert np.array_equal(k1.is_write, k2.is_write)
+
+    def test_different_seed_changes_trace(self):
+        t1 = generate_trace(spec(), small_config())
+        t2 = generate_trace(spec(seed=2), small_config())
+        assert not np.array_equal(t1.kernels[0].lines, t2.kernels[0].lines)
+
+    def test_lines_stay_in_footprint(self):
+        cfg = small_config()
+        s = spec()
+        layout = _resolve_layout(s, cfg)
+        t = generate_trace(s, cfg)
+        for k in t.kernels:
+            assert k.lines.min() >= 0
+            assert k.lines.max() < layout.footprint_lines
+
+    def test_read_only_shared_region_never_written(self):
+        cfg = small_config()
+        s = spec(rw_page_frac=0.0, shared_access_frac=0.5,
+                 shared_page_frac=0.5, write_frac=0.0)
+        layout = _resolve_layout(s, cfg)
+        t = generate_trace(s, cfg)
+        for k in t.kernels:
+            written = k.lines[k.is_write]
+            assert (written < layout.shared_start).all()
+
+    def test_shared_writes_confined_to_writable_lines(self):
+        cfg = small_config()
+        s = spec(
+            rw_page_frac=0.5, line_write_frac=0.1, shared_access_frac=0.5,
+            shared_page_frac=0.5, write_frac=0.0, shared_write_frac=0.3,
+        )
+        layout = _resolve_layout(s, cfg)
+        writable = set(layout.writable_shared.tolist())
+        t = generate_trace(s, cfg)
+        for k in t.kernels:
+            shared_writes = k.lines[k.is_write & (k.lines >= layout.shared_start)]
+            assert all(int(x) in writable for x in shared_writes)
+
+    def test_instruction_metadata_propagates(self):
+        s = spec(instr_per_access=33.0, concurrency_per_sm=7.0)
+        t = generate_trace(s, small_config())
+        assert t.kernels[0].instr_per_access == 33.0
+        assert t.kernels[0].concurrency_per_sm == 7.0
+
+    def test_cta_imbalance_spreads_work(self):
+        s = spec(cta_imbalance=0.5)
+        t = generate_trace(s, small_config())
+        k = t.kernels[1]
+        counts = np.bincount(k.cta_ids, minlength=8)
+        assert counts.max() > counts.min()
+
+    def test_trace_sharing_matches_knobs(self):
+        """End-to-end: the generator produces shared RW pages iff asked."""
+        cfg = small_config()
+        rw = spec(shared_page_frac=0.4, shared_access_frac=0.5,
+                  rw_page_frac=1.0, shared_write_frac=0.2)
+        ro = spec(shared_page_frac=0.4, shared_access_frac=0.5,
+                  rw_page_frac=0.0)
+        p_rw = profile_sharing(generate_trace(rw, cfg), cfg)
+        p_ro = profile_sharing(generate_trace(ro, cfg), cfg)
+        assert p_rw.access_distribution("page").rw_shared > 0.1
+        assert p_ro.access_distribution("page").rw_shared == pytest.approx(
+            0.0, abs=0.05
+        )
+
+    def test_false_sharing_page_vs_line(self):
+        cfg = small_config()
+        s = spec(shared_page_frac=0.4, shared_access_frac=0.5,
+                 rw_page_frac=1.0, line_write_frac=0.06,
+                 shared_write_frac=0.05)
+        p = profile_sharing(generate_trace(s, cfg), cfg)
+        page_rw = p.access_distribution("page").rw_shared
+        line_rw = p.access_distribution("line").rw_shared
+        assert page_rw > 2 * line_rw
+
+
+class TestHelpers:
+    def test_expected_footprint(self):
+        cfg = small_config()
+        assert expected_footprint_bytes(spec(), cfg) > 0
+
+    def test_cost_estimate_close_to_actual(self):
+        cfg = small_config()
+        s = spec()
+        t = generate_trace(s, cfg)
+        est = trace_cost_estimate(s, cfg)
+        # Imbalance makes the actual total wobble around the estimate.
+        assert 0.5 * est < t.n_accesses < 2.0 * est
