@@ -39,6 +39,13 @@ class RemoteAccessOutcome:
     filled: bool
 
 
+# Only three outcomes exist and callers never mutate them, so remote_read
+# returns these shared instances instead of allocating per access.
+_OUTCOME_HIT = RemoteAccessOutcome(RDC_HIT, probed=True, filled=False)
+_OUTCOME_MISS = RemoteAccessOutcome(RDC_MISS, probed=True, filled=True)
+_OUTCOME_BYPASS = RemoteAccessOutcome(RDC_BYPASS, probed=False, filled=True)
+
+
 class CarveController:
     """Per-GPU RDC + predictor front-end for remote memory accesses."""
 
@@ -66,15 +73,15 @@ class CarveController:
                 was_resident = self.rdc.contains(line, stream)
                 self.predictor.train(line, was_resident, predicted_hit=False)
                 self.rdc.insert(line, stream)
-                return RemoteAccessOutcome(RDC_BYPASS, probed=False, filled=True)
+                return _OUTCOME_BYPASS
             hit = self.rdc.probe(line, stream)
             self.predictor.train(line, hit, predicted_hit=True)
         else:
             hit = self.rdc.probe(line, stream)
         if hit:
-            return RemoteAccessOutcome(RDC_HIT, probed=True, filled=False)
+            return _OUTCOME_HIT
         self.rdc.insert(line, stream)
-        return RemoteAccessOutcome(RDC_MISS, probed=True, filled=True)
+        return _OUTCOME_MISS
 
     # -- write path ----------------------------------------------------------
 

@@ -45,6 +45,17 @@ class CoherenceProtocol(ABC):
     #: Whether the RDC must be (epoch-)invalidated at kernel boundaries.
     flush_rdc_at_kernel_boundary: bool = False
 
+    #: Whether :meth:`invalidation_targets` can ever return targets or has
+    #: observable side effects (IMST training, directory bookkeeping).
+    #: When False the execution engine skips the per-store consult
+    #: entirely — a pure fast-path gate, never a semantic change.
+    may_invalidate: bool = True
+
+    #: Whether :meth:`note_remote_read` observes anything.  Same kind of
+    #: fast-path gate as :attr:`may_invalidate`: protocols that leave the
+    #: base no-op may set this False so the engine skips the call.
+    tracks_remote_reads: bool = True
+
     def __init__(self, n_gpus: int) -> None:
         if n_gpus <= 0:
             raise ValueError("n_gpus must be positive")
@@ -72,6 +83,8 @@ class NoCoherence(CoherenceProtocol):
 
     name = COHERENCE_NONE
     flush_rdc_at_kernel_boundary = False
+    may_invalidate = False
+    tracks_remote_reads = False
 
     def invalidation_targets(self, home, writer, line):
         return None
@@ -82,6 +95,8 @@ class SoftwareCoherence(CoherenceProtocol):
 
     name = COHERENCE_SOFTWARE
     flush_rdc_at_kernel_boundary = True
+    may_invalidate = False
+    tracks_remote_reads = False
 
     def invalidation_targets(self, home, writer, line):
         return None

@@ -22,8 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.config import WRITE_BACK, WRITE_THROUGH
 from repro.core.epoch import EpochCounters
 
@@ -45,6 +43,21 @@ class RdcStats:
     def hit_rate(self) -> float:
         return self.hits / self.probes if self.probes else 0.0
 
+    def add_counts(
+        self,
+        probes: int = 0,
+        hits: int = 0,
+        stale_epoch_misses: int = 0,
+        inserts: int = 0,
+        writes: int = 0,
+    ) -> None:
+        """Batched counter update (vectorized-engine flush)."""
+        self.probes += probes
+        self.hits += hits
+        self.stale_epoch_misses += stale_epoch_misses
+        self.inserts += inserts
+        self.writes += writes
+
 
 #: Region granularity of the write-back dirty-map, in lines.
 DIRTY_MAP_REGION_LINES = 64
@@ -65,10 +78,14 @@ class RemoteDataCache:
             raise ValueError(f"unknown write policy {write_policy!r}")
         self.n_sets = n_lines
         self.write_policy = write_policy
-        # Tag arrays: tag == -1 means the set is empty.
-        self._tags = np.full(n_lines, -1, dtype=np.int64)
-        self._epochs = np.zeros(n_lines, dtype=np.int32)
-        self._dirty = np.zeros(n_lines, dtype=bool)
+        # Tag arrays: tag == -1 means the set is empty.  Plain lists, not
+        # NumPy: the hot path indexes single elements, where ndarray
+        # scalar boxing costs far more than a list load.  Bulk operations
+        # (flush, reset) are rare and mutate the lists *in place* so that
+        # hot-path aliases stay valid.
+        self._tags = [-1] * n_lines
+        self._epochs = [0] * n_lines
+        self._dirty = [False] * n_lines
         self.epochs = EpochCounters(bits=epoch_bits)
         self.stats = RdcStats()
         # Write-back dirty map: region ids that have been written.
@@ -79,6 +96,32 @@ class RemoteDataCache:
     def set_of(self, line: int) -> int:
         return line % self.n_sets
 
+    # -- hot-path views ----------------------------------------------------
+    # The vectorized execution engine inlines probe/insert/write against
+    # these live structures; any mutation must preserve the contracts of
+    # those methods (tag/epoch pairing, dirty-map upkeep, counters flushed
+    # through ``stats.add_counts``).
+
+    @property
+    def tags(self) -> list:
+        """Per-set resident line tags (-1 = empty)."""
+        return self._tags
+
+    @property
+    def line_epochs(self) -> list:
+        """Per-set install epochs (valid only where a tag is set)."""
+        return self._epochs
+
+    @property
+    def dirty_flags(self) -> list:
+        """Per-set dirty bits (write-back policy only)."""
+        return self._dirty
+
+    @property
+    def dirty_regions(self) -> set:
+        """Write-back dirty-map region ids."""
+        return self._dirty_regions
+
     # -- cache operations ---------------------------------------------------
 
     def probe(self, line: int, stream: int = 0) -> bool:
@@ -86,7 +129,7 @@ class RemoteDataCache:
         s = line % self.n_sets
         self.stats.probes += 1
         if self._tags[s] == line:
-            if self.epochs.is_current(int(self._epochs[s]), stream):
+            if self.epochs.is_current(self._epochs[s], stream):
                 self.stats.hits += 1
                 return True
             self.stats.stale_epoch_misses += 1
@@ -95,9 +138,9 @@ class RemoteDataCache:
     def contains(self, line: int, stream: int = 0) -> bool:
         """Side-effect-free presence check (no counters)."""
         s = line % self.n_sets
-        return bool(
+        return (
             self._tags[s] == line
-            and self.epochs.is_current(int(self._epochs[s]), stream)
+            and self.epochs.is_current(self._epochs[s], stream)
         )
 
     def insert(self, line: int, stream: int = 0, dirty: bool = False) -> None:
@@ -119,7 +162,7 @@ class RemoteDataCache:
         """
         s = line % self.n_sets
         if self._tags[s] != line or not self.epochs.is_current(
-            int(self._epochs[s]), stream
+            self._epochs[s], stream
         ):
             return False
         self.stats.writes += 1
@@ -151,8 +194,8 @@ class RemoteDataCache:
         """
         flushed = 0
         if self.write_policy == WRITE_BACK:
-            flushed = int(self._dirty.sum())
-            self._dirty[:] = False
+            flushed = sum(self._dirty)
+            self._dirty[:] = [False] * self.n_sets
             self._dirty_regions.clear()
         rolled = self.epochs.advance(stream)
         if rolled:
@@ -161,8 +204,7 @@ class RemoteDataCache:
 
     def dirty_lines(self) -> list[int]:
         """Resident dirty lines (write-back flush targets via dirty-map)."""
-        idx = np.nonzero(self._dirty)[0]
-        return [int(self._tags[i]) for i in idx if self._tags[i] >= 0]
+        return [t for t, d in zip(self._tags, self._dirty) if d and t >= 0]
 
     def dirty_map_regions(self) -> int:
         """How many dirty-map regions would be scanned at a flush."""
@@ -170,9 +212,10 @@ class RemoteDataCache:
 
     def physical_reset(self) -> None:
         """Full tag-store reset (epoch rollover path)."""
-        self._tags[:] = -1
-        self._epochs[:] = 0
-        self._dirty[:] = False
+        n = self.n_sets
+        self._tags[:] = [-1] * n
+        self._epochs[:] = [0] * n
+        self._dirty[:] = [False] * n
         self._dirty_regions.clear()
         self.stats.physical_resets += 1
 
@@ -180,6 +223,8 @@ class RemoteDataCache:
 
     def occupancy(self, stream: int = 0) -> float:
         """Fraction of sets holding a currently valid line."""
-        valid = self._tags >= 0
-        current = self._epochs == self.epochs.current(stream)
-        return float(np.count_nonzero(valid & current)) / self.n_sets
+        cur = self.epochs.current(stream)
+        valid = sum(
+            1 for t, e in zip(self._tags, self._epochs) if t >= 0 and e == cur
+        )
+        return valid / self.n_sets

@@ -41,14 +41,20 @@ def split_kernel_by_gpu(
     """
     cta_to_gpu = assign_ctas(kernel, n_gpus, policy)
     access_gpu = cta_to_gpu[kernel.cta_ids]
+    # One stable sort + two gathers instead of n_gpus boolean-mask passes
+    # over the whole trace; stability preserves CTA-program order per GPU.
+    order = np.argsort(access_gpu, kind="stable")
+    lines_sorted = kernel.lines[order]
+    writes_sorted = kernel.is_write[order]
+    bounds = np.searchsorted(access_gpu[order], np.arange(n_gpus + 1))
     streams = []
     for g in range(n_gpus):
-        mask = access_gpu == g
+        lo, hi = int(bounds[g]), int(bounds[g + 1])
         streams.append(
             {
-                "lines": kernel.lines[mask],
-                "is_write": kernel.is_write[mask],
-                "n_accesses": int(mask.sum()),
+                "lines": lines_sorted[lo:hi],
+                "is_write": writes_sorted[lo:hi],
+                "n_accesses": hi - lo,
             }
         )
     return streams
@@ -68,25 +74,15 @@ def interleave_streams(
     """
     if chunk <= 0:
         raise ValueError("chunk must be positive")
-    n_gpus = len(streams)
-    cursors = [0] * n_gpus
+    counts = [s["n_accesses"] for s in streams]
+    n_rounds = (max(counts, default=0) + chunk - 1) // chunk
     out: list[tuple[int, np.ndarray, np.ndarray]] = []
-    remaining = sum(s["n_accesses"] for s in streams)
-    while remaining > 0:
-        for g in range(n_gpus):
-            start = cursors[g]
-            stop = min(start + chunk, streams[g]["n_accesses"])
-            if start >= stop:
-                continue
-            out.append(
-                (
-                    g,
-                    streams[g]["lines"][start:stop],
-                    streams[g]["is_write"][start:stop],
-                )
-            )
-            cursors[g] = stop
-            remaining -= stop - start
+    for r in range(n_rounds):
+        start = r * chunk
+        for g, s in enumerate(streams):
+            stop = min(start + chunk, counts[g])
+            if start < stop:
+                out.append((g, s["lines"][start:stop], s["is_write"][start:stop]))
     return out
 
 

@@ -70,6 +70,22 @@ class SetAssociativeCache:
     def _set_of(self, line: int) -> OrderedDict[int, CacheLineState]:
         return self._sets[line % self.n_sets]
 
+    @property
+    def sets(self) -> list[OrderedDict[int, CacheLineState]]:
+        """The per-set line tables, LRU-first (hot-path view).
+
+        The vectorized execution engine operates on these directly to
+        avoid per-access method-call overhead; any mutation must preserve
+        the :meth:`lookup`/:meth:`insert` contract (LRU order, ``ways``
+        bound, counter deltas flushed via :meth:`add_lookup_counts`).
+        """
+        return self._sets
+
+    def add_lookup_counts(self, hits: int, misses: int) -> None:
+        """Batched hit/miss counter update (vectorized-engine flush)."""
+        self.hits += hits
+        self.misses += misses
+
     def lookup(self, line: int, update_lru: bool = True) -> bool:
         """Probe for *line*; updates hit/miss counters and recency."""
         s = self._set_of(line)

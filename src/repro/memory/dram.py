@@ -99,6 +99,70 @@ class DramModel:
         self.latency_ns_total += latency
         return latency
 
+    def access_run(self, first_line: int, count: int, is_write: bool) -> float:
+        """Access *count* consecutive lines starting at *first_line*.
+
+        Counter-for-counter identical to calling :meth:`access` in a loop
+        (same per-bank row transitions in the same order), but with the
+        per-line Python overhead hoisted.  Used for bulk transfers — page
+        migration copies and kernel-boundary flushes.  Returns the total
+        latency in nanoseconds.
+        """
+        open_rows = self._open_rows
+        n_channels = self.amap.n_channels
+        banks_per_channel = self.config.banks_per_channel
+        lines_per_row = self.amap.lines_per_row
+        hit_lat = self.config.row_hit_latency_ns
+        miss_lat = self.config.row_miss_latency_ns
+        row_hits = row_misses = 0
+        total = 0.0
+        for line in range(first_line, first_line + count):
+            in_channel = line // n_channels
+            bank = (line % n_channels) * banks_per_channel + (
+                in_channel % banks_per_channel
+            )
+            row = in_channel // lines_per_row
+            if open_rows[bank] == row:
+                row_hits += 1
+                total += hit_lat
+            else:
+                open_rows[bank] = row
+                row_misses += 1
+                total += miss_lat
+        self.stats.row_hits += row_hits
+        self.stats.row_misses += row_misses
+        if is_write:
+            self.stats.writes += count
+        else:
+            self.stats.reads += count
+        self.latency_ns_total += total
+        return total
+
+    def add_batch(
+        self,
+        reads: int,
+        writes: int,
+        row_hits: int,
+        row_misses: int,
+        latency_ns: float,
+    ) -> None:
+        """Batched counter update (vectorized-engine flush).
+
+        The caller has already applied the per-bank open-row transitions
+        through the :attr:`open_rows` view; this records the aggregate
+        counters those accesses produced.
+        """
+        self.stats.reads += reads
+        self.stats.writes += writes
+        self.stats.row_hits += row_hits
+        self.stats.row_misses += row_misses
+        self.latency_ns_total += latency_ns
+
+    @property
+    def open_rows(self) -> list:
+        """Per-bank open-row state (hot-path view, owned by this model)."""
+        return self._open_rows
+
     @property
     def average_latency_ns(self) -> float:
         n = self.stats.accesses

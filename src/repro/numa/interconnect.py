@@ -31,6 +31,16 @@ class Interconnect:
         self._bytes[src][dst] += n_bytes
         return self.config.latency_ns
 
+    @property
+    def rows(self) -> list[list[int]]:
+        """The live (src, dst) byte matrix (hot-path view).
+
+        The vectorized execution engine adds to entries directly instead
+        of paying a :meth:`send` call per message; callers must uphold the
+        same contract (src != dst, non-negative byte counts).
+        """
+        return self._bytes
+
     def bytes_between(self, src: int, dst: int) -> int:
         return self._bytes[src][dst]
 
@@ -49,7 +59,13 @@ class Interconnect:
         )
 
     def snapshot_and_reset(self) -> list[list[int]]:
-        """Return the matrix and zero the counters (per-kernel capture)."""
+        """Return the matrix and zero the counters (per-kernel capture).
+
+        Zeroes in place so :attr:`rows` aliases held by a caller stay
+        valid across kernels.
+        """
         snap = self.matrix()
-        self._bytes = [[0] * self.n_gpus for _ in range(self.n_gpus)]
+        zero = [0] * self.n_gpus
+        for row in self._bytes:
+            row[:] = zero
         return snap

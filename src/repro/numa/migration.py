@@ -63,6 +63,15 @@ class MigrationEngine:
         self._counts[key] = count
         if count < self.threshold:
             return False
+        return self.attempt_migration(page, gpu)
+
+    def attempt_migration(self, page: int, gpu: int) -> bool:
+        """Post-threshold decision: cap check, then re-home *page*.
+
+        Split out of :meth:`note_remote_access` so the vectorized engine
+        can count remote accesses inline against :attr:`counts` and only
+        pay this call once a counter actually reaches the threshold.
+        """
         if self._moves.get(page, 0) >= self.max_moves_per_page:
             self.stats.blocked_by_cap += 1
             return False
@@ -73,3 +82,18 @@ class MigrationEngine:
         for g in range(self.table.n_gpus):
             self._counts.pop((page, g), None)
         return True
+
+    @property
+    def counts(self) -> dict:
+        """Live (page, gpu) -> remote-access count table (hot-path view).
+
+        Inline increments must mirror :meth:`note_remote_access` exactly:
+        bump the count, compare against :attr:`threshold`, call
+        :meth:`attempt_migration` when reached, and report the observed
+        accesses through :meth:`add_observed`.
+        """
+        return self._counts
+
+    def add_observed(self, n: int) -> None:
+        """Batched ``remote_accesses_observed`` update (engine flush)."""
+        self.stats.remote_accesses_observed += n

@@ -73,6 +73,45 @@ class GpuKernelStats:
         probes = self.rdc_hits + self.rdc_misses
         return self.rdc_hits / probes if probes else 0.0
 
+    def add_counts(
+        self,
+        *,
+        accesses: int = 0,
+        writes: int = 0,
+        l1_hits: int = 0,
+        l2_hits: int = 0,
+        local_reads: int = 0,
+        local_writes: int = 0,
+        remote_reads: int = 0,
+        remote_writes: int = 0,
+        rdc_hits: int = 0,
+        rdc_misses: int = 0,
+        rdc_inserts: int = 0,
+        rdc_bypasses: int = 0,
+        invalidates_sent: int = 0,
+        latency_ns: float = 0.0,
+    ) -> None:
+        """Accumulate a batch of per-access counter deltas in one call.
+
+        The vectorized execution engine tallies a whole chunk in local
+        variables and flushes here once, instead of bumping dataclass
+        attributes on every access.
+        """
+        self.accesses += accesses
+        self.writes += writes
+        self.l1_hits += l1_hits
+        self.l2_hits += l2_hits
+        self.local_reads += local_reads
+        self.local_writes += local_writes
+        self.remote_reads += remote_reads
+        self.remote_writes += remote_writes
+        self.rdc_hits += rdc_hits
+        self.rdc_misses += rdc_misses
+        self.rdc_inserts += rdc_inserts
+        self.rdc_bypasses += rdc_bypasses
+        self.invalidates_sent += invalidates_sent
+        self.latency_ns += latency_ns
+
     def merge(self, other: "GpuKernelStats") -> None:
         """Accumulate *other* into this object (for workload-level views)."""
         for f in self.__dataclass_fields__:

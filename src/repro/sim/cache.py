@@ -14,6 +14,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import uuid
 from pathlib import Path
 from typing import Callable, Optional
 
@@ -22,7 +23,7 @@ from repro.perf.stats import RunResult
 from repro.workloads.base import WorkloadSpec
 
 #: Bump on any change that alters simulation results.
-CODE_VERSION = 8
+CODE_VERSION = 9
 
 _DEFAULT_DIR = Path(__file__).resolve().parents[3] / ".simcache"
 
@@ -62,10 +63,17 @@ def store(spec: WorkloadSpec, config: SystemConfig, result: RunResult) -> None:
     d = cache_dir()
     d.mkdir(parents=True, exist_ok=True)
     path = d / f"{_key(spec, config)}.pkl"
-    tmp = path.with_suffix(".tmp")
-    with tmp.open("wb") as f:
-        pickle.dump(result, f, protocol=pickle.HIGHEST_PROTOCOL)
-    tmp.replace(path)
+    # Unique tmp name: parallel processes computing the same key must not
+    # write into (or rename away) each other's half-written file.  The
+    # final rename is atomic, so concurrent stores race benignly — last
+    # writer wins with a complete file either way.
+    tmp = d / f"{path.stem}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+    try:
+        with tmp.open("wb") as f:
+            pickle.dump(result, f, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def cached(
@@ -83,12 +91,17 @@ def cached(
 
 
 def clear() -> int:
-    """Delete every cache entry; returns how many files were removed."""
+    """Delete every cache entry; returns how many files were removed.
+
+    Also sweeps ``*.tmp`` leftovers from stores interrupted mid-write
+    (killed processes can orphan their uniquely named tmp files).
+    """
     d = cache_dir()
     if not d.exists():
         return 0
     n = 0
-    for p in d.glob("*.pkl"):
-        p.unlink()
-        n += 1
+    for pattern in ("*.pkl", "*.tmp"):
+        for p in d.glob(pattern):
+            p.unlink(missing_ok=True)
+            n += 1
     return n

@@ -113,7 +113,7 @@ class TestRdcInvariants:
         cfg = tiny_rdc_config(coherence=COHERENCE_HARDWARE)
         system, _ = run_stream(cfg, accesses)
         for node in system.nodes:
-            assert not node.carve.rdc._dirty.any()
+            assert not any(node.carve.rdc._dirty)
 
     @settings(max_examples=20, deadline=None)
     @given(ACCESSES)
