@@ -28,6 +28,8 @@ from repro.config import (
     ConfigError,
     GpuConfig,
     LinkConfig,
+    LinkFaultConfig,
+    LinkFaultEvent,
     MemoryConfig,
     RdcConfig,
     SystemConfig,
@@ -39,6 +41,7 @@ from repro.numa.system import MultiGpuSystem
 from repro.perf.model import PerformanceModel, geometric_mean, speedup
 from repro.perf.stats import RunResult
 from repro.sim.driver import run_time, run_workload, time_of
+from repro.sim.runner import FailureReport, RunnerPolicy
 from repro.workloads import suite
 from repro.workloads.base import WorkloadSpec, generate_trace
 
@@ -50,15 +53,19 @@ __all__ = [
     "COHERENCE_NONE",
     "COHERENCE_SOFTWARE",
     "ConfigError",
+    "FailureReport",
     "GpuConfig",
     "KernelTrace",
     "LINE_BYTES",
     "LinkConfig",
+    "LinkFaultConfig",
+    "LinkFaultEvent",
     "MemoryConfig",
     "MultiGpuSystem",
     "PerformanceModel",
     "RdcConfig",
     "RunResult",
+    "RunnerPolicy",
     "SystemConfig",
     "WorkloadSpec",
     "WorkloadTrace",

@@ -5,9 +5,13 @@ Exposes the library's common operations without writing Python:
     python -m repro list                      # the Table II suite
     python -m repro run Lulesh --system carve-hwc
     python -m repro compare Lulesh            # all headline systems
+    python -m repro suite carve-hwc --jobs 4  # fault-tolerant batch
     python -m repro sharing XSBench           # Fig. 4-style analysis
     python -m repro configs                   # experiment registry
     python -m repro cache --clear             # simulation result cache
+
+Exit status: 0 on success, 1 when a batch finished with failed points,
+2 on an invalid configuration.
 """
 
 from __future__ import annotations
@@ -19,9 +23,11 @@ from typing import Optional, Sequence
 from repro.analysis.bottleneck import analyze, render
 from repro.analysis.report import format_table
 from repro.analysis.sharing import profile_sharing
+from repro.config import ConfigError
 from repro.sim import cache as simcache
 from repro.sim import experiments as E
 from repro.sim.driver import run_workload, time_of
+from repro.sim.runner import RunnerPolicy, default_journal_dir
 from repro.workloads import suite
 from repro.workloads.base import generate_trace
 
@@ -90,6 +96,52 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_suite(args) -> int:
+    """Run one configuration across workloads via the fault-tolerant
+    runner; exits 1 when any point ultimately fails so scripts and CI
+    can observe partial batches."""
+    journal = args.journal or str(
+        default_journal_dir() / f"suite-{args.system}.jsonl"
+    )
+    policy = RunnerPolicy(
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        keep_going=args.keep_going,
+        journal_path=journal,
+        resume=args.resume,
+    )
+    rdc_bytes = int(args.rdc_gb * 2**30) if args.rdc_gb else 2 * 2**30
+    run = E.run_suite(
+        args.system,
+        workloads=args.workloads,
+        rdc_bytes=rdc_bytes,
+        use_cache=not args.no_cache,
+        runner=policy,
+    )
+    rows = []
+    for abbr in (args.workloads or suite.all_abbrs()):
+        if abbr in run.results:
+            rows.append([abbr, f"{run.time_s(abbr):.4g} s", "ok"])
+        elif abbr in run.failures:
+            f = run.failures[abbr]
+            rows.append([abbr, "-", f"{f.kind} x{f.attempts}"])
+        else:
+            rows.append([abbr, "-", "cancelled"])
+    print(format_table(
+        ["workload", "time", "status"],
+        rows, title=f"{args.system} suite (journal: {journal})",
+    ))
+    if not run.ok:
+        print(f"\n{len(run.failures)} failed, {len(run.cancelled)} "
+              f"cancelled point(s):", file=sys.stderr)
+        print(run.failure_summary(), file=sys.stderr)
+        print("re-run with --resume to retry only the failed points",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_sharing(args) -> int:
     cfg = E.config_for(E.NUMA_GPU)
     spec = suite.get(args.workload)
@@ -153,6 +205,37 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--no-cache", action="store_true")
     cmp_p.set_defaults(fn=_cmd_compare)
 
+    suite_p = sub.add_parser(
+        "suite",
+        help="run one config across workloads (fault-tolerant batch)",
+    )
+    suite_p.add_argument("system", choices=sorted(E.experiment_configs()))
+    suite_p.add_argument("--workloads", nargs="+",
+                         choices=suite.all_abbrs(), default=None,
+                         help="subset of the suite (default: all)")
+    suite_p.add_argument("--rdc-gb", type=float, default=None)
+    suite_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="concurrent crash-isolated workers")
+    suite_p.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-point wall-clock budget")
+    suite_p.add_argument("--retries", type=int, default=0,
+                         help="retries per point (exponential backoff)")
+    going = suite_p.add_mutually_exclusive_group()
+    going.add_argument("--keep-going", dest="keep_going",
+                       action="store_true", default=True,
+                       help="record failures and continue (default)")
+    going.add_argument("--fail-fast", dest="keep_going",
+                       action="store_false",
+                       help="abort the batch on the first final failure")
+    suite_p.add_argument("--journal", default=None, metavar="PATH",
+                         help="JSONL execution journal (default: "
+                              ".repro-journal/suite-<system>.jsonl)")
+    suite_p.add_argument("--resume", action="store_true",
+                         help="skip points the journal records as done")
+    suite_p.add_argument("--no-cache", action="store_true")
+    suite_p.set_defaults(fn=_cmd_suite)
+
     sh_p = sub.add_parser("sharing", help="page/line sharing analysis")
     sh_p.add_argument("workload", choices=suite.all_abbrs())
     sh_p.set_defaults(fn=_cmd_sharing)
@@ -166,7 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ConfigError as exc:
+        # One clear line naming the offending field, before (not during)
+        # any simulation.
+        print(f"error: invalid configuration: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -124,6 +124,80 @@ class LinkConfig:
             raise ConfigError(f"unknown link topology {self.topology!r}")
 
 
+@dataclass(frozen=True)
+class LinkFaultEvent:
+    """One scripted fault epoch on the inter-GPU fabric.
+
+    During kernels ``first_kernel..last_kernel`` (inclusive, counting
+    every executed kernel including warmup), each matching directional
+    link runs at ``scale`` of its configured bandwidth; ``scale = 0``
+    is a full outage (traffic is rerouted through a healthy peer when
+    possible).  ``src``/``dst`` of ``-1`` match any GPU.
+    """
+
+    first_kernel: int
+    last_kernel: int
+    scale: float = 0.0
+    src: int = -1
+    dst: int = -1
+
+    def validate(self) -> None:
+        if self.first_kernel < 0 or self.last_kernel < self.first_kernel:
+            raise ConfigError("fault event kernel range is invalid")
+        if not 0.0 <= self.scale <= 1.0:
+            raise ConfigError("fault event scale must be in [0, 1]")
+        if self.src < -1 or self.dst < -1:
+            raise ConfigError("fault event GPU ids must be >= -1")
+
+
+@dataclass(frozen=True)
+class LinkFaultConfig:
+    """Deterministic, seeded NUMA-fabric fault injection.
+
+    Models the graceful-degradation question a multi-GPU training stack
+    faces on NVLink flaps: per kernel, each directional link may be
+    degraded (bandwidth scaled into ``[min_scale, 1)``) or suffer a full
+    outage (bandwidth zeroed; traffic reroutes through a healthy
+    intermediate GPU, doubling its byte cost).  The schedule is a pure
+    function of ``(seed, kernel index, src, dst)`` — independent of
+    Python hash randomisation and of execution order — so every run of a
+    configuration sees the identical fault pattern.  Scripted ``events``
+    override the random draw for the links/kernels they match.
+    """
+
+    seed: int = 0
+    #: Per-kernel, per-link probability of a full outage.
+    outage_prob: float = 0.0
+    #: Per-kernel, per-link probability of bandwidth degradation.
+    degrade_prob: float = 0.0
+    #: Lower bound of the degraded bandwidth fraction.
+    min_scale: float = 0.25
+    #: Scripted epochs taking precedence over the random schedule.
+    events: tuple[LinkFaultEvent, ...] = ()
+    #: Reroute outage traffic through a healthy intermediate GPU.  When
+    #: False (or no healthy route exists) the dead link instead retains
+    #: its traffic at a severe residual bandwidth (retry/backpressure).
+    reroute: bool = True
+
+    def validate(self) -> None:
+        if self.outage_prob < 0.0 or self.degrade_prob < 0.0:
+            raise ConfigError("fault probabilities cannot be negative")
+        if self.outage_prob + self.degrade_prob > 1.0:
+            raise ConfigError("fault probabilities must sum to <= 1")
+        if not 0.0 < self.min_scale <= 1.0:
+            raise ConfigError("min_scale must be in (0, 1]")
+        for event in self.events:
+            event.validate()
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.outage_prob > 0.0
+            or self.degrade_prob > 0.0
+            or bool(self.events)
+        )
+
+
 #: RDC write policies.
 WRITE_THROUGH = "write_through"
 WRITE_BACK = "write_back"
@@ -197,6 +271,8 @@ class SystemConfig:
     gpu: GpuConfig = field(default_factory=GpuConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     link: LinkConfig = field(default_factory=LinkConfig)
+    #: ``None`` disables NUMA-fabric fault injection (the default).
+    link_faults: Optional[LinkFaultConfig] = None
     #: ``None`` disables CARVE entirely (baseline NUMA-GPU).
     rdc: Optional[RdcConfig] = None
     placement: str = PLACEMENT_FIRST_TOUCH
@@ -302,6 +378,8 @@ class SystemConfig:
         self.gpu.validate()
         self.memory.validate()
         self.link.validate()
+        if self.link_faults is not None:
+            self.link_faults.validate()
 
     # ------------------------------------------------------------------
     # Convenience constructors used throughout the experiments.

@@ -5,22 +5,118 @@ dedicated uni-directional link of ``inter_gpu_bytes_per_s`` (Fig. 1 /
 Table III: 64 GB/s per link, one direction).  The model is a byte
 accountant — per-kernel matrices of bytes moved — plus a latency constant;
 the performance model turns the most-loaded link into time.
+
+Fault injection (:class:`FaultSchedule`) overlays a deterministic,
+seeded schedule of per-kernel link faults: a link may be *degraded*
+(bandwidth scaled into ``[min_scale, 1)``) or suffer an *outage*
+(bandwidth zeroed).  Because the interconnect is a byte accountant, the
+overlay is applied when a kernel's byte matrix is snapshotted: bytes
+accounted on a dead link are rerouted through the lowest-numbered
+healthy intermediate GPU (both hops pay the bytes — the fabric really
+does move the data twice), and the surviving per-link bandwidth scales
+are returned alongside the matrix for the performance model to price.
+The hot path is untouched: with no fault schedule configured the
+accounting and snapshots are bit-identical to the fault-free model.
 """
 
 from __future__ import annotations
 
-from repro.config import LinkConfig
+import hashlib
+from typing import Optional
+
+from repro.config import LinkConfig, LinkFaultConfig
+
+#: Effective bandwidth fraction of a dead link whose traffic cannot be
+#: rerouted (two-GPU systems, or a fully partitioned epoch): transfers
+#: trickle through at the retry/backpressure residual rather than
+#: stalling forever.
+OUTAGE_RESIDUAL_SCALE = 1.0 / 64.0
+
+
+def _stable_unit(seed: int, kernel: int, src: int, dst: int) -> float:
+    """Deterministic draw in [0, 1) — stable across processes and order.
+
+    Uses SHA-256 instead of ``hash()`` so the schedule does not depend
+    on ``PYTHONHASHSEED``; worker subprocesses must see the same faults
+    as an in-process run.
+    """
+    digest = hashlib.sha256(
+        f"{seed}:{kernel}:{src}:{dst}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class FaultSchedule:
+    """Per-kernel link-fault epochs derived from a :class:`LinkFaultConfig`."""
+
+    def __init__(self, n_gpus: int, config: LinkFaultConfig) -> None:
+        if n_gpus <= 0:
+            raise ValueError("n_gpus must be positive")
+        config.validate()
+        self.n_gpus = n_gpus
+        self.config = config
+
+    def scale(self, kernel_index: int, src: int, dst: int) -> float:
+        """Bandwidth fraction of link (src, dst) during *kernel_index*."""
+        if src == dst:
+            return 1.0
+        for event in self.config.events:
+            if (
+                event.first_kernel <= kernel_index <= event.last_kernel
+                and event.src in (-1, src)
+                and event.dst in (-1, dst)
+            ):
+                return event.scale
+        cfg = self.config
+        if cfg.outage_prob <= 0.0 and cfg.degrade_prob <= 0.0:
+            return 1.0
+        u = _stable_unit(cfg.seed, kernel_index, src, dst)
+        if u < cfg.outage_prob:
+            return 0.0
+        if u < cfg.outage_prob + cfg.degrade_prob:
+            # A second independent draw picks the degradation depth.
+            v = _stable_unit(cfg.seed + 0x9E3779B9, kernel_index, src, dst)
+            return cfg.min_scale + v * (1.0 - cfg.min_scale)
+        return 1.0
+
+    def matrix(self, kernel_index: int) -> Optional[list[list[float]]]:
+        """Scale matrix for one kernel; None when every link is healthy."""
+        n = self.n_gpus
+        out = [[1.0] * n for _ in range(n)]
+        faulted = False
+        for s in range(n):
+            for d in range(n):
+                if s == d:
+                    continue
+                f = self.scale(kernel_index, s, d)
+                if f != 1.0:
+                    out[s][d] = f
+                    faulted = True
+        return out if faulted else None
 
 
 class Interconnect:
     """Directional byte counters for every GPU pair."""
 
-    def __init__(self, n_gpus: int, config: LinkConfig) -> None:
+    def __init__(
+        self,
+        n_gpus: int,
+        config: LinkConfig,
+        faults: Optional[FaultSchedule] = None,
+    ) -> None:
         if n_gpus <= 0:
             raise ValueError("n_gpus must be positive")
         self.n_gpus = n_gpus
         self.config = config
+        self.faults = faults
         self._bytes = [[0] * n_gpus for _ in range(n_gpus)]
+        #: Scale matrix of the kernel being executed (None = all healthy).
+        self._scale: Optional[list[list[float]]] = None
+
+    def begin_kernel(self, kernel_index: int) -> None:
+        """Enter a kernel's fault epoch (no-op without a schedule)."""
+        if self.faults is not None:
+            self._scale = self.faults.matrix(kernel_index)
 
     def send(self, src: int, dst: int, n_bytes: int) -> float:
         """Move *n_bytes* src -> dst; returns the one-way latency in ns."""
@@ -69,3 +165,48 @@ class Interconnect:
         for row in self._bytes:
             row[:] = zero
         return snap
+
+    def snapshot_faulted_and_reset(
+        self,
+    ) -> tuple[list[list[int]], Optional[list[list[float]]]]:
+        """Per-kernel capture with the current fault epoch applied.
+
+        Returns ``(byte_matrix, scale_matrix)``.  With every link
+        healthy this kernel, the scale matrix is None and the bytes are
+        exactly :meth:`snapshot_and_reset`'s.  Otherwise bytes accounted
+        on dead links are rerouted (both hops of the detour pay them)
+        or, when no healthy route exists or rerouting is disabled, kept
+        in place with the link's scale raised to the retry residual
+        :data:`OUTAGE_RESIDUAL_SCALE` so pricing stays finite.
+        """
+        snap = self.snapshot_and_reset()
+        if self._scale is None:
+            return snap, None
+        scale = [row[:] for row in self._scale]
+        reroute = self.faults is None or self.faults.config.reroute
+        for s in range(self.n_gpus):
+            for d in range(self.n_gpus):
+                if s == d or scale[s][d] > 0.0:
+                    continue
+                moved = snap[s][d]
+                if not moved:
+                    continue
+                via = self._route_via(s, d, scale) if reroute else None
+                if via is None:
+                    scale[s][d] = OUTAGE_RESIDUAL_SCALE
+                else:
+                    snap[s][d] = 0
+                    snap[s][via] += moved
+                    snap[via][d] += moved
+        return snap, scale
+
+    def _route_via(
+        self, src: int, dst: int, scale: list[list[float]]
+    ) -> Optional[int]:
+        """Lowest-numbered GPU with both detour hops alive, if any."""
+        for via in range(self.n_gpus):
+            if via in (src, dst):
+                continue
+            if scale[src][via] > 0.0 and scale[via][dst] > 0.0:
+                return via
+        return None

@@ -57,7 +57,7 @@ from repro.memory.address import AddressMap
 from repro.memory.cache import CacheLineState, SetAssociativeCache
 from repro.memory.dram import DramModel
 from repro.memory.tlb import TlbHierarchy
-from repro.numa.interconnect import Interconnect
+from repro.numa.interconnect import FaultSchedule, Interconnect
 from repro.numa.migration import SHOOTDOWN_LATENCY_NS, MigrationEngine
 from repro.numa.pagetable import PageTable
 from repro.numa.replication import ReplicationPlan
@@ -133,7 +133,15 @@ class MultiGpuSystem:
         )
         self.nodes = [GpuNode(g, config, self.amap) for g in range(config.n_gpus)]
         self.pagetable = PageTable(config.n_gpus, config.placement)
-        self.interconnect = Interconnect(config.n_gpus, config.link)
+        faults = (
+            FaultSchedule(config.n_gpus, config.link_faults)
+            if config.link_faults is not None and config.link_faults.active
+            else None
+        )
+        self.interconnect = Interconnect(config.n_gpus, config.link, faults)
+        #: Index of the next kernel to execute (fault-epoch clock; counts
+        #: every kernel including warmup).
+        self._kernel_index = 0
         if config.has_rdc:
             assert config.rdc is not None
             self.protocol = make_protocol(
@@ -185,6 +193,8 @@ class MultiGpuSystem:
             warmup=kernel.warmup,
         )
         self._stream = kernel.stream
+        self.interconnect.begin_kernel(self._kernel_index)
+        self._kernel_index += 1
         dram_before = [
             (n.dram.stats.reads, n.dram.stats.writes,
              n.dram.stats.row_hits, n.dram.stats.row_misses)
@@ -216,7 +226,12 @@ class MultiGpuSystem:
         # the next kernel — or vanish entirely after the last one.
         self.kernel_boundary(ks, stream=kernel.stream)
         self._capture_dram_deltas(ks, dram_before)
-        ks.link_bytes = self.interconnect.snapshot_and_reset()
+        if self.interconnect.faults is not None:
+            ks.link_bytes, ks.link_scale = (
+                self.interconnect.snapshot_faulted_and_reset()
+            )
+        else:
+            ks.link_bytes = self.interconnect.snapshot_and_reset()
         return ks
 
     def kernel_boundary(self, ks: Optional[KernelStats] = None, stream: int = 0) -> None:
@@ -263,7 +278,12 @@ class MultiGpuSystem:
             ks,
         )
         self._capture_dram_deltas(ks, dram_before)
-        ks.link_bytes = self.interconnect.snapshot_and_reset()
+        if self.interconnect.faults is not None:
+            ks.link_bytes, ks.link_scale = (
+                self.interconnect.snapshot_faulted_and_reset()
+            )
+        else:
+            ks.link_bytes = self.interconnect.snapshot_and_reset()
         return ks
 
     def _capture_dram_deltas(self, ks: KernelStats, before) -> None:

@@ -76,6 +76,44 @@ def _dram_efficiency(reads: int, writes: int, row_hits: int, row_misses: int) ->
     return row_eff * turnaround_eff
 
 
+def _faulted_link_time(
+    ks: KernelStats, g: int, link_bw: float,
+    scale: list[list[float]], topology: str,
+) -> float:
+    """Link term of GPU *g* under a kernel's fault epoch.
+
+    Each link's drain time is its bytes over its *scaled* bandwidth.
+    Links carrying bytes always have scale > 0 (outage traffic was
+    rerouted, or left at the retry residual, when the kernel's byte
+    matrix was captured), so zero-scale entries can only appear on idle
+    links and are skipped.
+    """
+    if topology == TOPOLOGY_SWITCH:
+        # One fabric port per GPU: its in/out totals share it, and a
+        # degraded link stretches its share of the drain.
+        t_out = sum(
+            b / (link_bw * scale[g][d])
+            for d, b in enumerate(ks.link_bytes[g])
+            if b and d != g
+        )
+        t_in = sum(
+            row[g] / (link_bw * scale[s][g])
+            for s, row in enumerate(ks.link_bytes)
+            if row[g] and s != g
+        )
+        return max(t_out, t_in)
+    # Dedicated pairwise links: the slowest-draining one binds.
+    worst = 0.0
+    for d, b in enumerate(ks.link_bytes[g]):
+        if b and d != g:
+            worst = max(worst, b / (link_bw * scale[g][d]))
+    for s in range(ks.n_gpus):
+        b = ks.link_bytes[s][g]
+        if b and s != g:
+            worst = max(worst, b / (link_bw * scale[s][g]))
+    return worst
+
+
 class PerformanceModel:
     """Prices a :class:`RunResult` into time under a system config."""
 
@@ -96,8 +134,12 @@ class PerformanceModel:
             )
             dram_bytes = (st.dram_reads + st.dram_writes) * LINE_BYTES
             t_local = dram_bytes / (cfg.memory.bandwidth_bytes_per_s * eff)
+            scale = ks.link_scale
             if ks.n_gpus <= 1:
                 t_link = 0.0
+            elif scale is not None:
+                t_link = _faulted_link_time(ks, g, link_bw, scale,
+                                            cfg.link.topology)
             elif cfg.link.topology == TOPOLOGY_SWITCH:
                 # One fabric port per GPU: its in/out totals share it.
                 port_bytes = max(ks.link_in_bytes(g), ks.link_out_bytes(g))

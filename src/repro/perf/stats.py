@@ -130,6 +130,11 @@ class KernelStats:
     gpus: list[GpuKernelStats] = field(default_factory=list)
     #: link_bytes[src][dst]: bytes moved src -> dst during this kernel.
     link_bytes: list[list[int]] = field(default_factory=list)
+    #: Per-link bandwidth fraction during this kernel's fault epoch
+    #: (None = every link ran at full configured bandwidth).  Entries on
+    #: links carrying bytes are always > 0 — outage traffic is rerouted
+    #: or priced at a retry residual when the byte matrix is captured.
+    link_scale: Optional[list[list[float]]] = None
 
     def __post_init__(self) -> None:
         if not self.gpus:

@@ -12,6 +12,7 @@ Set the environment variable ``REPRO_NO_CACHE=1`` to disable caching.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import uuid
@@ -22,8 +23,11 @@ from repro.config import SystemConfig
 from repro.perf.stats import RunResult
 from repro.workloads.base import WorkloadSpec
 
-#: Bump on any change that alters simulation results.
-CODE_VERSION = 9
+#: Bump on any change that alters simulation results (or the shape of
+#: the pickled RunResult — v10: per-kernel link_scale fault epochs).
+CODE_VERSION = 10
+
+log = logging.getLogger(__name__)
 
 _DEFAULT_DIR = Path(__file__).resolve().parents[3] / ".simcache"
 
@@ -43,7 +47,13 @@ def _key(spec: WorkloadSpec, config: SystemConfig) -> str:
 
 
 def load(spec: WorkloadSpec, config: SystemConfig) -> Optional[RunResult]:
-    """Return a cached result, or None when absent/disabled/corrupt."""
+    """Return a cached result, or None when absent/disabled/corrupt.
+
+    A corrupt entry (truncated write, unpicklable payload, wrong type)
+    is quarantined to ``<key>.corrupt`` rather than left in place: left
+    alone it would fail to load — and therefore silently re-miss and
+    re-simulate — forever, while deleting it would destroy the evidence.
+    """
     if not cache_enabled():
         return None
     path = cache_dir() / f"{_key(spec, config)}.pkl"
@@ -52,9 +62,35 @@ def load(spec: WorkloadSpec, config: SystemConfig) -> Optional[RunResult]:
     try:
         with path.open("rb") as f:
             obj = pickle.load(f)
-    except Exception:
+    except FileNotFoundError:
+        return None  # raced with clear(); an ordinary miss
+    except Exception as exc:
+        # Unpickling can raise nearly anything on a corrupt payload;
+        # every such failure is the same condition: a bad entry.
+        _quarantine(path, exc)
         return None
-    return obj if isinstance(obj, RunResult) else None
+    if not isinstance(obj, RunResult):
+        _quarantine(
+            path,
+            TypeError(f"cached object is {type(obj).__name__}, "
+                      f"not RunResult"),
+        )
+        return None
+    return obj
+
+
+def _quarantine(path: Path, exc: Exception) -> None:
+    """Move a corrupt cache entry aside and warn (returns it to a miss)."""
+    target = path.with_suffix(".corrupt")
+    try:
+        path.replace(target)
+    except OSError:
+        return  # another process already moved/removed it
+    log.warning(
+        "quarantined corrupt sim-cache entry %s -> %s (%s: %s); "
+        "the run will be re-simulated",
+        path.name, target.name, type(exc).__name__, exc,
+    )
 
 
 def store(spec: WorkloadSpec, config: SystemConfig, result: RunResult) -> None:
@@ -94,13 +130,14 @@ def clear() -> int:
     """Delete every cache entry; returns how many files were removed.
 
     Also sweeps ``*.tmp`` leftovers from stores interrupted mid-write
-    (killed processes can orphan their uniquely named tmp files).
+    (killed processes can orphan their uniquely named tmp files) and
+    ``*.corrupt`` quarantine files.
     """
     d = cache_dir()
     if not d.exists():
         return 0
     n = 0
-    for pattern in ("*.pkl", "*.tmp"):
+    for pattern in ("*.pkl", "*.tmp", "*.corrupt"):
         for p in d.glob(pattern):
             p.unlink(missing_ok=True)
             n += 1

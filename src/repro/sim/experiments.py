@@ -15,6 +15,7 @@ from repro.config import (
     COHERENCE_HARDWARE,
     COHERENCE_NONE,
     COHERENCE_SOFTWARE,
+    ConfigError,
     REPLICATE_ALL,
     REPLICATE_READ_ONLY,
     SystemConfig,
@@ -24,6 +25,14 @@ from repro.numa.unified_memory import assess_capacity_loss
 from repro.perf.model import PerformanceModel, geometric_mean
 from repro.perf.stats import RunResult
 from repro.sim.driver import run_workload, time_of
+from repro.sim.runner import (
+    FailureReport,
+    RunnerPolicy,
+    Task,
+    config_hash,
+    run_tasks,
+)
+from repro.sim.sweep import simulate_point
 from repro.workloads import suite
 
 GB = 2**30
@@ -65,10 +74,20 @@ def config_for(name: str, base: Optional[SystemConfig] = None,
                rdc_bytes: int = 2 * GB) -> SystemConfig:
     configs = experiment_configs(base, rdc_bytes)
     try:
-        return configs[name]
+        cfg = configs[name]
     except KeyError:
         raise KeyError(f"unknown experiment config {name!r}; "
                        f"known: {sorted(configs)}") from None
+    # Validate at the entry point so a bad base config (or absurd RDC
+    # size) fails with a clear field-naming error before any simulation
+    # starts, not deep inside the first run.
+    try:
+        cfg.validate()
+    except ConfigError as exc:
+        raise ConfigError(
+            f"experiment config {name!r} is invalid: {exc}"
+        ) from exc
+    return cfg
 
 
 # ---------------------------------------------------------------------------
@@ -82,6 +101,21 @@ class SuiteRun:
     config_name: str
     config: SystemConfig
     results: dict[str, RunResult] = field(default_factory=dict)
+    #: Workloads that ultimately failed under the fault-tolerant runner.
+    failures: dict[str, FailureReport] = field(default_factory=dict)
+    #: Workloads never run because a fail-fast runner aborted the batch.
+    cancelled: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every requested workload produced a result."""
+        return not self.failures and not self.cancelled
+
+    def failure_summary(self) -> str:
+        lines = [r.summary() for r in self.failures.values()]
+        lines.extend(f"{self.config_name}/{w}: cancelled (fail-fast)"
+                     for w in self.cancelled)
+        return "\n".join(lines)
 
     def time_s(self, abbr: str) -> float:
         return time_of(self.results[abbr], self.config)
@@ -93,15 +127,43 @@ def run_suite(
     workloads: Optional[list[str]] = None,
     rdc_bytes: int = 2 * GB,
     use_cache: bool = True,
+    runner: Optional[RunnerPolicy] = None,
 ) -> SuiteRun:
-    """Run one named configuration across the workload list."""
+    """Run one named configuration across the workload list.
+
+    With *runner* set, workloads execute through the fault-tolerant
+    engine (:mod:`repro.sim.runner`): crash-isolated workers, timeouts,
+    retries, and journal resume; failed workloads land in
+    :attr:`SuiteRun.failures` instead of raising.  Without it, the
+    serial in-process path runs unchanged (bit-identical results).
+    """
     config = config_for(config_name, base, rdc_bytes)
     names = workloads if workloads is not None else suite.all_abbrs()
     run = SuiteRun(config_name=config_name, config=config)
-    for abbr in names:
-        run.results[abbr] = run_workload(
-            abbr, config, label=config_name, use_cache=use_cache
+    if runner is None:
+        for abbr in names:
+            run.results[abbr] = run_workload(
+                abbr, config, label=config_name, use_cache=use_cache
+            )
+        return run
+    tasks = [
+        Task(
+            key=f"{config_name}/{abbr}",
+            fn=simulate_point,
+            args=(suite.get(abbr), config, config_name, use_cache),
+            config_hash=config_hash(config),
         )
+        for abbr in names
+    ]
+    batch = run_tasks(tasks, runner)
+    for abbr in names:
+        key = f"{config_name}/{abbr}"
+        if key in batch.results:
+            run.results[abbr] = batch.results[key]
+        elif key in batch.failures:
+            run.failures[abbr] = batch.failures[key]
+        else:
+            run.cancelled.append(abbr)
     return run
 
 

@@ -1,0 +1,103 @@
+"""Append-only JSONL execution journal for fault-tolerant batches.
+
+The runner (:mod:`repro.sim.runner`) records one JSON object per line as
+points start, retry, fail, or complete.  A journal makes an interrupted
+sweep resumable: ``--resume`` replays the journal, skips every point
+whose latest terminal event is ``done`` (reloading its pickled result
+from the sidecar results directory), and re-runs everything else.
+
+Record schema (all events carry ``event``, ``key`` and ``ts``):
+
+``start``   {attempt}
+``retry``   {attempt, kind, exception_type, message, backoff_s}
+``failed``  {kind, exception_type, message, traceback, config_hash,
+             attempts, elapsed_s}
+``done``    {attempt, elapsed_s, config_hash}
+
+Results of completed points are pickled to
+``<journal-stem>-results/<sha256(key)[:24]>.pkl`` next to the journal, so
+resumption does not depend on the simulation cache being enabled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import time
+from pathlib import Path
+from typing import Any, Optional, Union
+
+
+def _key_digest(key: str) -> str:
+    return hashlib.sha256(key.encode()).hexdigest()[:24]
+
+
+class Journal:
+    """One JSONL journal file plus its sidecar results directory."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.results_dir = self.path.parent / f"{self.path.stem}-results"
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, event: str, key: str, **fields: Any) -> None:
+        """Append one event record (flushed so crashes lose at most it)."""
+        record = {"event": event, "key": key, "ts": time.time(), **fields}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as f:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+            f.flush()
+
+    def store_result(self, key: str, result: Any) -> None:
+        """Pickle a completed point's result for later resumption."""
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        target = self.results_dir / f"{_key_digest(key)}.pkl"
+        tmp = target.with_suffix(".tmp")
+        with tmp.open("wb") as f:
+            pickle.dump(result, f, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(target)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def records(self) -> list[dict]:
+        """All records, tolerating a truncated (crashed-mid-write) tail."""
+        if not self.path.exists():
+            return []
+        out: list[dict] = []
+        with self.path.open("r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # half-written tail line
+                if isinstance(rec, dict) and "event" in rec and "key" in rec:
+                    out.append(rec)
+        return out
+
+    def completed_keys(self) -> set[str]:
+        """Keys whose most recent terminal event is ``done``."""
+        state: dict[str, str] = {}
+        for rec in self.records():
+            if rec["event"] in ("done", "failed"):
+                state[rec["key"]] = rec["event"]
+        return {k for k, ev in state.items() if ev == "done"}
+
+    def load_result(self, key: str) -> Optional[Any]:
+        """Unpickle a stored result; None when absent or unreadable."""
+        target = self.results_dir / f"{_key_digest(key)}.pkl"
+        if not target.exists():
+            return None
+        try:
+            with target.open("rb") as f:
+                return pickle.load(f)
+        except Exception:
+            return None  # corrupt sidecar: caller re-runs the point

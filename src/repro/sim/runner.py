@@ -1,0 +1,535 @@
+"""Fault-tolerant execution engine for simulation batches.
+
+Reproducing the paper's figures takes hundreds of (config x workload)
+runs.  One pathological point — an OOM-killed worker, a hang, a corrupt
+cache entry — must not take hours of completed work with it.  This
+module runs a batch of independent tasks with:
+
+* **crash isolation** — each task runs in its own worker subprocess; a
+  segfault or OOM kill marks that task failed and the batch continues;
+* **wall-clock timeouts** — a stuck worker is killed and reported as a
+  ``timeout`` failure instead of wedging the whole sweep;
+* **bounded retries** — transient failures are retried with exponential
+  backoff plus deterministic jitter;
+* **journaling + resume** — every state transition is appended to a
+  JSONL journal (:mod:`repro.sim.journal`); a re-run with
+  ``resume=True`` skips points already completed and re-runs only the
+  rest;
+* **structured failures** — a task that ultimately fails produces a
+  :class:`FailureReport` (kind, exception type, traceback, config hash,
+  attempt count) aggregated into the batch result instead of being
+  swallowed or aborting the batch.
+
+The serial in-process path (``jobs=1``, no timeout) executes tasks
+exactly like a plain loop would, so results stay bit-identical to
+runner-less execution; subprocess isolation is engaged only when
+parallelism or a timeout is requested.
+
+Workers are plain ``multiprocessing`` processes (fork where available,
+spawn otherwise) with one process per attempt: there is no long-lived
+pool to poison, so a dying worker can never take unrelated tasks down
+with it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+import signal
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.sim.journal import Journal
+
+#: Failure kinds carried by :class:`FailureReport`.
+KIND_EXCEPTION = "exception"  # the task raised
+KIND_TIMEOUT = "timeout"      # the worker exceeded the wall-clock budget
+KIND_CRASH = "crash"          # the worker died without reporting back
+
+#: Fault-injection hook for exercising this harness itself (tests, CI
+#: drills).  Format ``"<mode>:<key-substring>"`` where mode is one of
+#: ``fail`` (raise), ``crash`` (SIGKILL self), ``hang`` (sleep forever),
+#: ``flaky`` (raise on the first attempt only, using a sentinel file
+#: under ``REPRO_INJECT_FAULT_STATE``).  Affects only tasks whose key
+#: contains the substring; an empty substring matches every task.
+FAULT_ENV = "REPRO_INJECT_FAULT"
+FAULT_STATE_ENV = "REPRO_INJECT_FAULT_STATE"
+
+#: Default location for journals (CI uploads this directory on failure).
+JOURNAL_DIR_ENV = "REPRO_JOURNAL_DIR"
+
+#: Parent poll period while workers run.  Small enough that sub-second
+#: timeouts are honoured, large enough not to busy-spin.
+_POLL_S = 0.02
+
+
+def default_journal_dir() -> Path:
+    return Path(os.environ.get(JOURNAL_DIR_ENV, ".repro-journal"))
+
+
+def config_hash(config: Any) -> str:
+    """Stable short hash of a configuration's repr (journal/report key)."""
+    return hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+
+
+def _stable_unit(text: str) -> float:
+    """Deterministic value in [0, 1) independent of PYTHONHASHSEED."""
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RunnerPolicy:
+    """Execution policy for a batch of tasks.
+
+    The default policy (one job, no timeout) runs tasks serially
+    in-process — the bit-identical legacy behaviour.  Any of ``jobs > 1``
+    or a ``timeout_s`` switches the batch to subprocess isolation.
+    """
+
+    #: Maximum concurrent worker processes (1 = serial).
+    jobs: int = 1
+    #: Per-attempt wall-clock budget in seconds (None = unbounded).
+    timeout_s: Optional[float] = None
+    #: Retries after the first failed attempt (0 = one attempt only).
+    retries: int = 0
+    #: First retry delay; doubles per retry up to :attr:`backoff_max_s`.
+    backoff_base_s: float = 0.5
+    backoff_max_s: float = 30.0
+    #: Fractional deterministic jitter added to each backoff delay.
+    backoff_jitter: float = 0.1
+    #: Seed for the backoff jitter (kept deterministic for replay).
+    seed: int = 0
+    #: True: a failed point is recorded and the batch continues.
+    #: False (fail-fast): the first final failure cancels the rest.
+    keep_going: bool = True
+    #: JSONL journal path (None disables journaling and resume).
+    journal_path: Optional[Union[str, Path]] = None
+    #: Skip tasks whose key the journal records as completed.
+    resume: bool = False
+
+    def validate(self) -> None:
+        if self.jobs <= 0:
+            raise ValueError("runner jobs must be positive")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("runner timeout must be positive")
+        if self.retries < 0:
+            raise ValueError("runner retries cannot be negative")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays cannot be negative")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff jitter cannot be negative")
+        if self.resume and self.journal_path is None:
+            raise ValueError("resume requires a journal path")
+
+    @property
+    def isolated(self) -> bool:
+        """Whether tasks must run in worker subprocesses."""
+        return self.jobs > 1 or self.timeout_s is not None
+
+    def backoff_s(self, key: str, attempt: int) -> float:
+        """Delay before retry *attempt* (attempt 1 = first retry)."""
+        base = min(
+            self.backoff_max_s, self.backoff_base_s * (2 ** (attempt - 1))
+        )
+        jitter = self.backoff_jitter * _stable_unit(
+            f"{self.seed}:{key}:{attempt}"
+        )
+        return base * (1.0 + jitter)
+
+
+@dataclass
+class FailureReport:
+    """Everything known about a task that ultimately failed."""
+
+    key: str
+    kind: str  # KIND_EXCEPTION | KIND_TIMEOUT | KIND_CRASH
+    exception_type: str
+    message: str
+    traceback: str
+    config_hash: str
+    attempts: int
+    elapsed_s: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.key}: {self.kind} after {self.attempts} attempt(s) "
+            f"({self.exception_type}: {self.message})"
+        )
+
+    def to_record(self) -> dict:
+        return {
+            "kind": self.kind,
+            "exception_type": self.exception_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "config_hash": self.config_hash,
+            "attempts": self.attempts,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work: a picklable top-level callable plus arguments."""
+
+    key: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    config_hash: str = ""
+
+
+@dataclass
+class BatchResult:
+    """Outcome of a batch: results, failures, and bookkeeping."""
+
+    results: dict[str, Any] = field(default_factory=dict)
+    failures: dict[str, FailureReport] = field(default_factory=dict)
+    #: Keys skipped because the journal recorded them as completed.
+    resumed: list[str] = field(default_factory=list)
+    #: Keys never (re)started because fail-fast aborted the batch.
+    cancelled: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.cancelled
+
+
+# ---------------------------------------------------------------------------
+# Fault injection (testing the harness itself)
+# ---------------------------------------------------------------------------
+
+def _maybe_inject_fault(key: str) -> None:
+    spec = os.environ.get(FAULT_ENV)
+    if not spec:
+        return
+    mode, _, match = spec.partition(":")
+    if match and match not in key:
+        return
+    if mode == "fail":
+        raise RuntimeError(f"injected failure for {key!r}")
+    if mode == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if mode == "hang":
+        time.sleep(3600)
+    if mode == "flaky":
+        state_dir = Path(os.environ.get(FAULT_STATE_ENV, "."))
+        sentinel = state_dir / (
+            hashlib.sha256(key.encode()).hexdigest()[:24] + ".flaky"
+        )
+        if not sentinel.exists():
+            state_dir.mkdir(parents=True, exist_ok=True)
+            sentinel.touch()
+            raise RuntimeError(f"injected flaky failure for {key!r}")
+
+
+# ---------------------------------------------------------------------------
+# Batch execution
+# ---------------------------------------------------------------------------
+
+def run_tasks(tasks: Sequence[Task], policy: RunnerPolicy) -> BatchResult:
+    """Execute *tasks* under *policy*; never raises for task failures."""
+    policy.validate()
+    keys = [t.key for t in tasks]
+    if len(set(keys)) != len(keys):
+        raise ValueError("task keys must be unique within a batch")
+
+    journal = Journal(policy.journal_path) if policy.journal_path else None
+    batch = BatchResult()
+    todo: list[Task] = []
+    if policy.resume and journal is not None:
+        done = journal.completed_keys()
+        for task in tasks:
+            if task.key in done:
+                result = journal.load_result(task.key)
+                if result is not None:
+                    batch.results[task.key] = result
+                    batch.resumed.append(task.key)
+                    continue
+            todo.append(task)
+    else:
+        todo = list(tasks)
+
+    if policy.isolated:
+        _run_isolated(todo, policy, journal, batch)
+    else:
+        _run_inline(todo, policy, journal, batch)
+    return batch
+
+
+def _record_success(
+    batch: BatchResult,
+    journal: Optional[Journal],
+    task: Task,
+    result: Any,
+    attempt: int,
+    elapsed_s: float,
+) -> None:
+    batch.results[task.key] = result
+    if journal is not None:
+        journal.store_result(task.key, result)
+        journal.append(
+            "done", task.key, attempt=attempt, elapsed_s=elapsed_s,
+            config_hash=task.config_hash,
+        )
+
+
+def _record_failure(
+    batch: BatchResult,
+    journal: Optional[Journal],
+    task: Task,
+    report: FailureReport,
+) -> None:
+    batch.failures[task.key] = report
+    if journal is not None:
+        journal.append("failed", task.key, **report.to_record())
+
+
+def _run_inline(
+    todo: list[Task],
+    policy: RunnerPolicy,
+    journal: Optional[Journal],
+    batch: BatchResult,
+) -> None:
+    """Serial in-process execution (the bit-identical default path)."""
+    for i, task in enumerate(todo):
+        attempt = 1
+        started = time.perf_counter()
+        while True:
+            if journal is not None:
+                journal.append("start", task.key, attempt=attempt)
+            try:
+                _maybe_inject_fault(task.key)
+                result = task.fn(*task.args)
+            except Exception as exc:
+                if attempt <= policy.retries:
+                    delay = policy.backoff_s(task.key, attempt)
+                    if journal is not None:
+                        journal.append(
+                            "retry", task.key, attempt=attempt,
+                            kind=KIND_EXCEPTION,
+                            exception_type=type(exc).__name__,
+                            message=str(exc), backoff_s=delay,
+                        )
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                report = FailureReport(
+                    key=task.key, kind=KIND_EXCEPTION,
+                    exception_type=type(exc).__name__, message=str(exc),
+                    traceback=traceback.format_exc(),
+                    config_hash=task.config_hash, attempts=attempt,
+                    elapsed_s=time.perf_counter() - started,
+                )
+                _record_failure(batch, journal, task, report)
+                if not policy.keep_going:
+                    batch.cancelled.extend(t.key for t in todo[i + 1:])
+                    return
+                break
+            else:
+                _record_success(
+                    batch, journal, task, result, attempt,
+                    time.perf_counter() - started,
+                )
+                break
+
+
+def _child_main(task: Task, conn) -> None:
+    """Worker-subprocess entry: run the task, report through the pipe."""
+    try:
+        _maybe_inject_fault(task.key)
+        result = task.fn(*task.args)
+        payload = ("ok", pickle.dumps(result, pickle.HIGHEST_PROTOCOL))
+    except BaseException as exc:  # report SystemExit and friends too
+        payload = (
+            "error", type(exc).__name__, str(exc), traceback.format_exc()
+        )
+    try:
+        conn.send(payload)
+    except Exception:
+        pass  # parent gone or pipe broken; exit code tells the story
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    task: Task
+    attempt: int
+    process: Any
+    conn: Any
+    started: float
+    deadline: Optional[float]
+    first_started: float
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _run_isolated(
+    todo: list[Task],
+    policy: RunnerPolicy,
+    journal: Optional[Journal],
+    batch: BatchResult,
+) -> None:
+    """Crash-isolated execution: one worker subprocess per attempt."""
+    ctx = _mp_context()
+    #: (task, attempt, eligible_at, first_started) awaiting a worker slot.
+    pending: deque = deque((t, 1, 0.0, None) for t in todo)
+    running: list[_Running] = []
+    stop = False
+
+    def finish_failure(entry: _Running, kind: str, exc_type: str,
+                       message: str, tb: str) -> None:
+        nonlocal stop
+        if entry.attempt <= policy.retries:
+            delay = policy.backoff_s(entry.task.key, entry.attempt)
+            if journal is not None:
+                journal.append(
+                    "retry", entry.task.key, attempt=entry.attempt,
+                    kind=kind, exception_type=exc_type, message=message,
+                    backoff_s=delay,
+                )
+            pending.append((
+                entry.task, entry.attempt + 1,
+                time.monotonic() + delay, entry.first_started,
+            ))
+            return
+        report = FailureReport(
+            key=entry.task.key, kind=kind, exception_type=exc_type,
+            message=message, traceback=tb,
+            config_hash=entry.task.config_hash, attempts=entry.attempt,
+            elapsed_s=time.perf_counter() - entry.first_started,
+        )
+        _record_failure(batch, journal, entry.task, report)
+        if not policy.keep_going:
+            stop = True
+
+    while pending or running:
+        if stop:
+            # Fail-fast: kill in-flight workers, cancel everything queued.
+            for entry in running:
+                _kill(entry.process)
+                batch.cancelled.append(entry.task.key)
+            batch.cancelled.extend(t.key for t, *_ in pending)
+            running.clear()
+            pending.clear()
+            break
+
+        now = time.monotonic()
+        # Launch eligible tasks into free worker slots.
+        launched = True
+        while launched and len(running) < policy.jobs and pending:
+            launched = False
+            for _ in range(len(pending)):
+                task, attempt, eligible_at, first = pending.popleft()
+                if eligible_at > now:
+                    pending.append((task, attempt, eligible_at, first))
+                    continue
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_child_main, args=(task, child_conn), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                started = time.perf_counter()
+                running.append(_Running(
+                    task=task, attempt=attempt, process=process,
+                    conn=parent_conn, started=now,
+                    deadline=(now + policy.timeout_s
+                              if policy.timeout_s is not None else None),
+                    first_started=first if first is not None else started,
+                ))
+                if journal is not None:
+                    journal.append("start", task.key, attempt=attempt)
+                launched = True
+                break
+
+        progressed = False
+        now = time.monotonic()
+        for entry in list(running):
+            message = None
+            if entry.conn.poll():
+                try:
+                    message = entry.conn.recv()
+                except (EOFError, OSError):
+                    message = None  # died mid-send: handled as a crash
+            if message is not None:
+                running.remove(entry)
+                progressed = True
+                entry.process.join(timeout=10.0)
+                entry.conn.close()
+                if message[0] == "ok":
+                    try:
+                        result = pickle.loads(message[1])
+                    except Exception as exc:
+                        finish_failure(
+                            entry, KIND_EXCEPTION, type(exc).__name__,
+                            f"result unpickling failed: {exc}",
+                            traceback.format_exc(),
+                        )
+                    else:
+                        _record_success(
+                            batch, journal, entry.task, result,
+                            entry.attempt,
+                            time.perf_counter() - entry.first_started,
+                        )
+                else:
+                    _, exc_type, msg, tb = message
+                    finish_failure(entry, KIND_EXCEPTION, exc_type, msg, tb)
+            elif not entry.process.is_alive():
+                # Worker died without reporting back: segfault, OOM kill,
+                # os._exit — the crash-isolation case.
+                running.remove(entry)
+                progressed = True
+                entry.process.join()
+                entry.conn.close()
+                code = entry.process.exitcode
+                detail = (
+                    f"killed by signal {-code}" if code is not None and
+                    code < 0 else f"exit code {code}"
+                )
+                finish_failure(
+                    entry, KIND_CRASH, "WorkerCrash",
+                    f"worker died without a result ({detail})", "",
+                )
+            elif entry.deadline is not None and now >= entry.deadline:
+                running.remove(entry)
+                progressed = True
+                _kill(entry.process)
+                entry.conn.close()
+                finish_failure(
+                    entry, KIND_TIMEOUT, "WorkerTimeout",
+                    f"worker exceeded {policy.timeout_s:g}s wall-clock "
+                    f"budget", "",
+                )
+
+        if not progressed and running:
+            time.sleep(_POLL_S)
+        elif not running and pending:
+            # Everything queued is backing off; sleep until eligible.
+            wake = min(item[2] for item in pending)
+            time.sleep(max(0.0, min(wake - time.monotonic(), 0.5)))
+
+
+def _kill(process) -> None:
+    """Terminate a worker, escalating to SIGKILL if it ignores SIGTERM."""
+    if not process.is_alive():
+        process.join()
+        return
+    process.terminate()
+    process.join(timeout=2.0)
+    if process.is_alive():
+        process.kill()
+        process.join()

@@ -10,6 +10,15 @@ Sensitivity studies come in two flavours here:
   bandwidths for the cost of one.
 
 ``Sweep`` drives both, memoising runs through the standard disk cache.
+
+Both sweeps optionally execute through the fault-tolerant runner
+(:mod:`repro.sim.runner`): pass a :class:`~repro.sim.runner.RunnerPolicy`
+to run points in crash-isolated worker subprocesses with timeouts,
+retries, and journal-based resume.  A failed point no longer aborts the
+sweep — it is recorded as a :class:`~repro.sim.runner.FailureReport` in
+:attr:`SweepResult.failures` while every other point completes.  Without
+a runner the legacy serial in-process path executes unchanged
+(bit-identical results).
 """
 
 from __future__ import annotations
@@ -17,13 +26,36 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from repro.config import SystemConfig
+from repro.config import ConfigError, SystemConfig
 from repro.perf.model import PerformanceModel, geometric_mean
 from repro.perf.stats import RunResult
 from repro.sim.driver import resolve_workload, run_workload
+from repro.sim.runner import (
+    FailureReport,
+    RunnerPolicy,
+    Task,
+    config_hash,
+    run_tasks,
+)
+from repro.workloads.base import WorkloadSpec
 
 #: A function mapping a sweep value to a full system configuration.
 ConfigFactory = Callable[[float], SystemConfig]
+
+
+def simulate_point(
+    spec: WorkloadSpec,
+    config: SystemConfig,
+    label: Optional[str],
+    use_cache: bool,
+) -> RunResult:
+    """Top-level (hence picklable) worker entry: simulate one point."""
+    return run_workload(spec, config, label=label, use_cache=use_cache)
+
+
+def point_key(name: str, value: float, abbr: str) -> str:
+    """Journal/report key of one (value, workload) sweep cell."""
+    return f"{name}={value:g}/{abbr}"
 
 
 @dataclass
@@ -44,6 +76,25 @@ class SweepResult:
     values: list[float]
     workloads: list[str]
     points: dict[tuple[float, str], SweepPoint] = field(default_factory=dict)
+    #: Points that ultimately failed under the fault-tolerant runner.
+    failures: dict[tuple[float, str], FailureReport] = field(
+        default_factory=dict
+    )
+    #: Points never run because a fail-fast runner aborted the sweep.
+    cancelled: list[tuple[float, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every requested point produced a result."""
+        return not self.failures and not self.cancelled
+
+    def failure_summary(self) -> str:
+        lines = [r.summary() for r in self.failures.values()]
+        lines.extend(
+            f"{point_key(self.name, v, w)}: cancelled (fail-fast)"
+            for v, w in self.cancelled
+        )
+        return "\n".join(lines)
 
     def time(self, value: float, workload: str) -> float:
         return self.points[(value, workload)].time_s
@@ -71,31 +122,90 @@ class SweepResult:
         return out
 
 
+def _validated_configs(
+    name: str, values: Sequence[float], config_factory: ConfigFactory
+) -> list[tuple[float, SystemConfig]]:
+    """Build and validate every point's config before any simulation.
+
+    A bad sweep factory must fail up front with a clear error, not hours
+    in when the offending value is finally reached.
+    """
+    out = []
+    for v in values:
+        cfg = config_factory(v)
+        try:
+            cfg.validate()
+        except ConfigError as exc:
+            raise ConfigError(
+                f"sweep {name!r} value {v:g} produced an invalid "
+                f"configuration: {exc}"
+            ) from exc
+        out.append((v, cfg))
+    return out
+
+
 def run_sweep(
     name: str,
     values: Sequence[float],
     config_factory: ConfigFactory,
     workloads: Sequence[str],
     use_cache: bool = True,
+    runner: Optional[RunnerPolicy] = None,
 ) -> SweepResult:
-    """Re-simulation sweep: one run per (value, workload)."""
+    """Re-simulation sweep: one run per (value, workload).
+
+    With *runner* set, points execute through the fault-tolerant engine;
+    failed points land in :attr:`SweepResult.failures` instead of
+    raising.  Without it, the serial in-process path runs unchanged.
+    """
     specs = [resolve_workload(w) for w in workloads]
+    configs = _validated_configs(name, values, config_factory)
     sweep = SweepResult(
         name=name, values=list(values), workloads=[s.abbr for s in specs]
     )
-    for v in values:
-        cfg = config_factory(v)
+    if runner is None:
+        for v, cfg in configs:
+            model = PerformanceModel(cfg)
+            for spec in specs:
+                result = run_workload(
+                    spec, cfg, label=f"{name}={v:g}", use_cache=use_cache
+                )
+                sweep.points[(v, spec.abbr)] = SweepPoint(
+                    value=v,
+                    workload=spec.abbr,
+                    time_s=model.total_time_s(result),
+                    result=result,
+                )
+        return sweep
+
+    tasks = [
+        Task(
+            key=point_key(name, v, spec.abbr),
+            fn=simulate_point,
+            args=(spec, cfg, f"{name}={v:g}", use_cache),
+            config_hash=config_hash(cfg),
+        )
+        for v, cfg in configs
+        for spec in specs
+    ]
+    batch = run_tasks(tasks, runner)
+    for v, cfg in configs:
         model = PerformanceModel(cfg)
         for spec in specs:
-            result = run_workload(
-                spec, cfg, label=f"{name}={v:g}", use_cache=use_cache
-            )
-            sweep.points[(v, spec.abbr)] = SweepPoint(
-                value=v,
-                workload=spec.abbr,
-                time_s=model.total_time_s(result),
-                result=result,
-            )
+            key = point_key(name, v, spec.abbr)
+            cell = (v, spec.abbr)
+            if key in batch.results:
+                result = batch.results[key]
+                sweep.points[cell] = SweepPoint(
+                    value=v,
+                    workload=spec.abbr,
+                    time_s=model.total_time_s(result),
+                    result=result,
+                )
+            elif key in batch.failures:
+                sweep.failures[cell] = batch.failures[key]
+            else:
+                sweep.cancelled.append(cell)
     return sweep
 
 
@@ -106,6 +216,7 @@ def reprice_sweep(
     price_factory: ConfigFactory,
     workloads: Sequence[str],
     use_cache: bool = True,
+    runner: Optional[RunnerPolicy] = None,
 ) -> SweepResult:
     """Re-pricing sweep: simulate once on *base_config*, re-price per value.
 
@@ -113,20 +224,58 @@ def reprice_sweep(
     pricing only — it must not change anything that affects traffic
     counters (capacities, policies, GPU counts), or the sweep is invalid;
     bandwidths, latencies, and overheads are fair game.
+
+    With *runner* set, the base simulations run through the
+    fault-tolerant engine; a failed workload is reported under every
+    sweep value in :attr:`SweepResult.failures`.
     """
+    base_config.validate()
     specs = [resolve_workload(w) for w in workloads]
+    # Build and sanity-check every pricing config before simulating.
+    priced_configs = []
+    for v in values:
+        priced = price_factory(v)
+        try:
+            priced.validate()
+        except ConfigError as exc:
+            raise ConfigError(
+                f"re-pricing sweep {name!r} value {v:g} produced an "
+                f"invalid configuration: {exc}"
+            ) from exc
+        _check_same_traffic_shape(base_config, priced)
+        priced_configs.append((v, priced))
     sweep = SweepResult(
         name=name, values=list(values), workloads=[s.abbr for s in specs]
     )
-    results = {
-        spec.abbr: run_workload(
-            spec, base_config, label=f"{name}-base", use_cache=use_cache
-        )
-        for spec in specs
-    }
-    for v in values:
-        priced = price_factory(v)
-        _check_same_traffic_shape(base_config, priced)
+    if runner is None:
+        results = {
+            spec.abbr: run_workload(
+                spec, base_config, label=f"{name}-base", use_cache=use_cache
+            )
+            for spec in specs
+        }
+    else:
+        tasks = [
+            Task(
+                key=f"{name}-base/{spec.abbr}",
+                fn=simulate_point,
+                args=(spec, base_config, f"{name}-base", use_cache),
+                config_hash=config_hash(base_config),
+            )
+            for spec in specs
+        ]
+        batch = run_tasks(tasks, runner)
+        results = {}
+        for spec in specs:
+            key = f"{name}-base/{spec.abbr}"
+            if key in batch.results:
+                results[spec.abbr] = batch.results[key]
+            elif key in batch.failures:
+                for v in values:
+                    sweep.failures[(v, spec.abbr)] = batch.failures[key]
+            else:
+                sweep.cancelled.extend((v, spec.abbr) for v in values)
+    for v, priced in priced_configs:
         model = PerformanceModel(priced)
         for abbr, result in results.items():
             sweep.points[(v, abbr)] = SweepPoint(
@@ -152,6 +301,13 @@ def _check_same_traffic_shape(base: SystemConfig, priced: SystemConfig) -> None:
     ):
         raise ValueError(
             "re-pricing sweep changed a traffic-affecting parameter; "
+            "use run_sweep instead"
+        )
+    if priced.link_faults != base.link_faults:
+        # Fault epochs change both the per-kernel link scaling and (via
+        # outage rerouting) the byte matrices themselves.
+        raise ValueError(
+            "re-pricing sweep changed the link-fault schedule; "
             "use run_sweep instead"
         )
     if priced.rdc is not None and base.rdc is not None:

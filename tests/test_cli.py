@@ -3,6 +3,9 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.config import ConfigError
+from repro.sim import experiments as E
+from repro.sim.runner import KIND_CRASH, FailureReport
 
 
 class TestParser:
@@ -22,6 +25,31 @@ class TestParser:
         args = build_parser().parse_args(["run", "Lulesh"])
         assert args.system == "carve-hwc"
         assert not args.no_cache
+
+    def test_suite_defaults(self):
+        args = build_parser().parse_args(["suite", "carve-hwc"])
+        assert args.jobs == 1
+        assert args.timeout is None
+        assert args.retries == 0
+        assert args.keep_going
+        assert not args.resume
+        assert args.journal is None
+
+    def test_suite_flags(self):
+        args = build_parser().parse_args([
+            "suite", "numa-gpu", "--workloads", "Lulesh", "XSBench",
+            "--jobs", "4", "--timeout", "120", "--retries", "2",
+            "--fail-fast", "--journal", "/tmp/j.jsonl", "--resume",
+        ])
+        assert args.workloads == ["Lulesh", "XSBench"]
+        assert args.jobs == 4 and args.timeout == 120.0
+        assert args.retries == 2
+        assert not args.keep_going
+        assert args.resume and args.journal == "/tmp/j.jsonl"
+
+    def test_suite_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "magic"])
 
 
 class TestCommands:
@@ -62,3 +90,47 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Lulesh on numa-gpu" in out
         assert "demand access mix" in out
+
+
+class TestExitStatus:
+    def test_suite_with_failures_exits_1(self, capsys, monkeypatch):
+        def fake_run_suite(config_name, **kwargs):
+            run = E.SuiteRun(config_name=config_name, config=None)
+            run.failures["Lulesh"] = FailureReport(
+                key=f"{config_name}/Lulesh", kind=KIND_CRASH,
+                exception_type="WorkerCrash",
+                message="worker died without a result (killed by signal 9)",
+                traceback="", config_hash="deadbeef", attempts=2,
+                elapsed_s=1.5,
+            )
+            return run
+
+        monkeypatch.setattr(E, "run_suite", fake_run_suite)
+        rc = main(["suite", "carve-hwc", "--workloads", "Lulesh"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "crash x2" in captured.out
+        assert "WorkerCrash" in captured.err
+        assert "--resume" in captured.err
+
+    def test_suite_all_ok_exits_0(self, capsys, monkeypatch):
+        class FakeRun:
+            results = {"Lulesh": object()}
+            failures = {}
+            cancelled = []
+            ok = True
+
+            def time_s(self, abbr):
+                return 1.25
+
+        monkeypatch.setattr(E, "run_suite", lambda *a, **k: FakeRun())
+        assert main(["suite", "carve-hwc", "--workloads", "Lulesh"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_configuration_exits_2(self, capsys):
+        # A negative RDC size survives argument parsing but fails
+        # SystemConfig.validate() at the experiments entry point.
+        rc = main(["run", "Lulesh", "--rdc-gb", "-1"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "invalid configuration" in err

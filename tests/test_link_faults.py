@@ -1,0 +1,238 @@
+"""Tests for NUMA-fabric fault injection (schedule, reroute, pricing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ConfigError,
+    LinkConfig,
+    LinkFaultConfig,
+    LinkFaultEvent,
+    baseline_config,
+)
+from repro.numa.interconnect import (
+    OUTAGE_RESIDUAL_SCALE,
+    FaultSchedule,
+    Interconnect,
+)
+from repro.perf.model import PerformanceModel
+from repro.perf.stats import KernelStats
+from repro.sim.driver import run_workload, time_of
+from repro.sim.sweep import reprice_sweep
+from repro.workloads.base import WorkloadSpec
+
+
+def fault_spec():
+    return WorkloadSpec(
+        name="faults", abbr="faults", suite="HPC",
+        footprint_bytes=2**20 * 1024,
+        n_kernels=2, warmup_kernels=1, n_ctas=8,
+        coverage=0.6, min_accesses=1500, max_accesses=2500,
+        shared_page_frac=0.5, shared_access_frac=0.6,
+        rw_page_frac=0.8, instr_per_access=5.0,
+    )
+
+
+class TestFaultSchedule:
+    def test_deterministic_across_instances(self):
+        cfg = LinkFaultConfig(seed=7, outage_prob=0.1, degrade_prob=0.3)
+        a, b = FaultSchedule(4, cfg), FaultSchedule(4, cfg)
+        for k in range(6):
+            assert a.matrix(k) == b.matrix(k)
+
+    def test_seed_changes_the_schedule(self):
+        base = dict(outage_prob=0.2, degrade_prob=0.3)
+        a = FaultSchedule(4, LinkFaultConfig(seed=1, **base))
+        b = FaultSchedule(4, LinkFaultConfig(seed=2, **base))
+        assert any(a.matrix(k) != b.matrix(k) for k in range(8))
+
+    def test_events_override_random_draws(self):
+        cfg = LinkFaultConfig(
+            seed=3, outage_prob=0.5, degrade_prob=0.5,
+            events=(LinkFaultEvent(2, 4, scale=0.5, src=0, dst=1),),
+        )
+        sched = FaultSchedule(4, cfg)
+        for k in (2, 3, 4):
+            assert sched.scale(k, 0, 1) == 0.5
+
+    def test_wildcard_event_hits_every_link(self):
+        cfg = LinkFaultConfig(events=(LinkFaultEvent(0, 0, scale=0.25),))
+        sched = FaultSchedule(3, cfg)
+        m = sched.matrix(0)
+        assert all(
+            m[s][d] == 0.25 for s in range(3) for d in range(3) if s != d
+        )
+        assert sched.matrix(1) is None  # event window over, all healthy
+
+    def test_healthy_kernel_yields_none(self):
+        sched = FaultSchedule(4, LinkFaultConfig(degrade_prob=1e-12, seed=0))
+        assert sched.matrix(0) is None
+
+    def test_degradation_depth_within_bounds(self):
+        cfg = LinkFaultConfig(seed=0, degrade_prob=1.0, min_scale=0.25)
+        sched = FaultSchedule(4, cfg)
+        for k in range(3):
+            m = sched.matrix(k)
+            for s in range(4):
+                for d in range(4):
+                    if s != d:
+                        assert 0.25 <= m[s][d] < 1.0
+
+
+class TestOutageReroute:
+    def _interconnect(self, n_gpus, events, reroute=True):
+        faults = FaultSchedule(
+            n_gpus, LinkFaultConfig(events=tuple(events), reroute=reroute)
+        )
+        ic = Interconnect(n_gpus, LinkConfig(), faults=faults)
+        ic.begin_kernel(0)
+        return ic
+
+    def test_dead_link_bytes_take_both_detour_hops(self):
+        ic = self._interconnect(
+            4, [LinkFaultEvent(0, 0, scale=0.0, src=0, dst=1)]
+        )
+        ic.send(0, 1, 1000)
+        ic.send(2, 3, 500)
+        snap, scale = ic.snapshot_faulted_and_reset()
+        # GPU 2 is the lowest-numbered healthy intermediate for 0 -> 1.
+        assert snap[0][1] == 0
+        assert snap[0][2] == 1000
+        assert snap[2][1] == 1000
+        assert snap[2][3] == 500  # unrelated traffic untouched
+        assert scale[0][1] == 0.0
+
+    def test_no_route_falls_back_to_residual(self):
+        ic = self._interconnect(
+            2, [LinkFaultEvent(0, 0, scale=0.0, src=0, dst=1)]
+        )
+        ic.send(0, 1, 1000)
+        snap, scale = ic.snapshot_faulted_and_reset()
+        assert snap[0][1] == 1000  # nowhere to reroute in a 2-GPU system
+        assert scale[0][1] == OUTAGE_RESIDUAL_SCALE
+
+    def test_reroute_disabled_keeps_bytes_in_place(self):
+        ic = self._interconnect(
+            4, [LinkFaultEvent(0, 0, scale=0.0, src=0, dst=1)],
+            reroute=False,
+        )
+        ic.send(0, 1, 1000)
+        snap, scale = ic.snapshot_faulted_and_reset()
+        assert snap[0][1] == 1000
+        assert scale[0][1] == OUTAGE_RESIDUAL_SCALE
+
+    def test_healthy_epoch_matches_plain_snapshot(self):
+        ic = self._interconnect(
+            4, [LinkFaultEvent(5, 5, scale=0.0, src=0, dst=1)]
+        )
+        ic.send(0, 1, 1000)
+        snap, scale = ic.snapshot_faulted_and_reset()
+        assert scale is None
+        assert snap[0][1] == 1000
+
+
+class TestFaultPricing:
+    def _kernel(self, n_gpus=2):
+        ks = KernelStats(
+            kernel_id=0, n_gpus=n_gpus, instr_per_access=5.0,
+            concurrency_per_sm=8.0,
+        )
+        ks.link_bytes[0][1] = 10 * 2**20
+        return ks
+
+    def test_degraded_link_stretches_link_time(self):
+        cfg = baseline_config().replace(n_gpus=2)
+        model = PerformanceModel(cfg)
+        healthy = model.kernel_time(self._kernel())
+        degraded_ks = self._kernel()
+        degraded_ks.link_scale = [[1.0, 0.5], [1.0, 1.0]]
+        degraded = model.kernel_time(degraded_ks)
+        assert degraded.time > healthy.time
+        assert degraded.per_gpu[0] == pytest.approx(2 * healthy.per_gpu[0])
+
+    def test_full_scale_epoch_prices_like_healthy(self):
+        cfg = baseline_config().replace(n_gpus=2)
+        model = PerformanceModel(cfg)
+        ks = self._kernel()
+        ks.link_scale = [[1.0, 1.0], [1.0, 1.0]]
+        assert model.kernel_time(ks).time == pytest.approx(
+            model.kernel_time(self._kernel()).time
+        )
+
+
+class TestEndToEnd:
+    def test_degradation_slows_but_preserves_counters(self):
+        spec = fault_spec()
+        base = baseline_config()
+        faulty = base.replace(link_faults=LinkFaultConfig(
+            events=(LinkFaultEvent(0, 99, scale=0.5),),
+        ))
+        r0 = run_workload(spec, base, use_cache=False)
+        r1 = run_workload(spec, faulty, use_cache=False)
+        # Degradation changes pricing only: the byte/access counters are
+        # those of the healthy fabric.
+        t0, t1 = r0.total(), r1.total()
+        assert t1.accesses == t0.accesses
+        assert t1.remote_reads == t0.remote_reads
+        assert [k.link_bytes for k in r1.kernels] == [
+            k.link_bytes for k in r0.kernels
+        ]
+        assert time_of(r1, faulty) > time_of(r0, base)
+
+    def test_outage_reroutes_demand_traffic(self):
+        spec = fault_spec()
+        base = baseline_config()
+        faulty = base.replace(link_faults=LinkFaultConfig(
+            events=(LinkFaultEvent(0, 99, scale=0.0, src=0, dst=1),),
+        ))
+        r0 = run_workload(spec, base, use_cache=False)
+        r1 = run_workload(spec, faulty, use_cache=False)
+        k0 = next(k for k in r0.kernels if not k.warmup)
+        k1 = next(k for k in r1.kernels if not k.warmup)
+        moved = k0.link_bytes[0][1]
+        assert moved > 0
+        assert k1.link_bytes[0][1] == 0
+        assert k1.link_bytes[0][2] == k0.link_bytes[0][2] + moved
+        assert k1.link_bytes[2][1] == k0.link_bytes[2][1] + moved
+
+    def test_reprice_rejects_fault_schedule_changes(self):
+        base = baseline_config()
+        faulty = LinkFaultConfig(events=(LinkFaultEvent(0, 99, scale=0.5),))
+        with pytest.raises(ValueError):
+            reprice_sweep(
+                "bad", [1.0], base,
+                lambda v: base.replace(link_faults=faulty),
+                [fault_spec()], use_cache=False,
+            )
+
+
+class TestValidation:
+    def test_event_rejects_bad_ranges(self):
+        for bad in (
+            LinkFaultEvent(first_kernel=-1, last_kernel=0),
+            LinkFaultEvent(first_kernel=5, last_kernel=2),
+            LinkFaultEvent(0, 0, scale=1.5),
+            LinkFaultEvent(0, 0, scale=-0.1),
+            LinkFaultEvent(0, 0, src=-2),
+        ):
+            with pytest.raises(ConfigError):
+                bad.validate()
+
+    def test_config_rejects_bad_probabilities(self):
+        for bad in (
+            LinkFaultConfig(outage_prob=-0.1),
+            LinkFaultConfig(outage_prob=0.7, degrade_prob=0.7),
+            LinkFaultConfig(min_scale=0.0),
+            LinkFaultConfig(min_scale=1.5),
+        ):
+            with pytest.raises(ConfigError):
+                bad.validate()
+
+    def test_system_validate_covers_link_faults(self):
+        # SystemConfig.replace() re-validates, so the bad fault config is
+        # rejected before it can reach any simulation.
+        with pytest.raises(ConfigError):
+            baseline_config().replace(
+                link_faults=LinkFaultConfig(outage_prob=-0.5)
+            )

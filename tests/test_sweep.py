@@ -1,9 +1,12 @@
 """Tests for the parameter-sweep utilities."""
 
+import json
+
 import pytest
 
-from repro.config import LinkConfig, baseline_config
-from repro.sim.sweep import reprice_sweep, run_sweep
+from repro.config import ConfigError, LinkConfig, baseline_config
+from repro.sim.runner import FAULT_ENV, KIND_CRASH, RunnerPolicy
+from repro.sim.sweep import point_key, reprice_sweep, run_sweep
 from repro.workloads.base import WorkloadSpec
 
 GB = 2**30
@@ -59,6 +62,74 @@ class TestRunSweep:
         )
         sp = carve.geomean_speedup_vs(numa, baseline_value=0.0)
         assert sp[2 * GB] > 1.0
+
+
+class TestFaultTolerantSweep:
+    """The runner-backed sweep path: parallelism, crashes, resume."""
+
+    def _run(self, runner=None):
+        base = baseline_config()
+        return run_sweep(
+            "rdc", [0.5 * GB, 2 * GB],
+            lambda v: base.with_rdc(int(v)),
+            WL_NAMES, use_cache=False, runner=runner,
+        )
+
+    def test_parallel_sweep_bit_identical_to_serial(self):
+        serial = self._run()
+        parallel = self._run(RunnerPolicy(jobs=2))
+        assert parallel.ok
+        assert set(parallel.points) == set(serial.points)
+        for key, point in serial.points.items():
+            assert parallel.points[key].time_s == point.time_s
+            assert parallel.points[key].result == point.result
+
+    def test_injected_crash_fails_only_that_point(self, monkeypatch, tmp_path):
+        """Acceptance: a crashed worker yields a completed SweepResult
+        with a FailureReport for exactly the affected point, and a
+        resume pass re-runs only that point."""
+        journal = tmp_path / "sweep.jsonl"
+        abbr = WL_NAMES[0].abbr
+        victim = point_key("rdc", 0.5 * GB, abbr)
+        monkeypatch.setenv(FAULT_ENV, f"crash:{victim}")
+        sweep = self._run(RunnerPolicy(jobs=2, journal_path=journal))
+
+        assert not sweep.ok
+        assert set(sweep.failures) == {(0.5 * GB, abbr)}
+        report = sweep.failures[(0.5 * GB, abbr)]
+        assert report.kind == KIND_CRASH
+        assert victim in sweep.failure_summary()
+        # The healthy point completed despite its neighbour crashing.
+        assert sweep.time(2 * GB, abbr) > 0
+
+        # Clear the fault; resume re-runs only the crashed point.
+        monkeypatch.delenv(FAULT_ENV)
+        resumed = self._run(
+            RunnerPolicy(jobs=2, journal_path=journal, resume=True)
+        )
+        assert resumed.ok
+        assert resumed.time(0.5 * GB, abbr) > 0
+        with journal.open() as f:
+            starts = [
+                json.loads(line)["key"] for line in f
+                if json.loads(line)["event"] == "start"
+            ]
+        assert starts.count(victim) == 2  # crashed run + resume run
+        other = point_key("rdc", 2 * GB, abbr)
+        assert starts.count(other) == 1  # never re-executed
+
+    def test_bad_factory_rejected_before_any_simulation(self):
+        import dataclasses
+
+        base = baseline_config()
+        # dataclasses.replace bypasses SystemConfig.replace's own eager
+        # validation, so the sweep's up-front check is what catches it.
+        with pytest.raises(ConfigError, match="value -1"):
+            run_sweep(
+                "gpus", [4, -1],
+                lambda v: dataclasses.replace(base, n_gpus=int(v)),
+                WL_NAMES, use_cache=False,
+            )
 
 
 class TestRepriceSweep:
