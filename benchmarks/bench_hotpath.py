@@ -14,8 +14,14 @@ are asserted equal as a side-effect sanity check.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_hotpath.py           # full
-    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke   # CI gate
+    PYTHONPATH=src python benchmarks/bench_hotpath.py             # full
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke     # CI gate
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --obs-check # obs gate
+
+``--obs-check`` guards the observability layer's overhead contract
+(docs/observability.md): a metrics-only ``Observability`` attached to
+the vectorized engine must cost < 5% wall time and leave the
+``RunResult`` bit-identical.
 """
 
 from __future__ import annotations
@@ -123,6 +129,81 @@ def run_bench(max_accesses: int, n_kernels: int, repeats: int) -> dict:
     }
 
 
+#: Overhead budget for a metrics-only Observability (docs/observability.md).
+OBS_OVERHEAD_LIMIT = 0.05
+
+
+def _measure_obs_cell(cfg, trace, repeats):
+    """Interleaved best-of-*repeats* timings: (t_bare, t_obs, r_bare, r_obs).
+
+    Bare and observed runs alternate within each repeat so a load spike
+    on a shared machine hits both variants rather than biasing one.
+    """
+    from repro.obs import Observability
+
+    t_bare = t_obs = math.inf
+    r_bare = r_obs = None
+    for _ in range(repeats):
+        system = MultiGpuSystem(cfg, engine=ENGINE_VECTORIZED)
+        t0 = time.perf_counter()
+        r = system.run(trace)
+        t_bare = min(t_bare, time.perf_counter() - t0)
+        if r_bare is None:
+            r_bare = r
+        obs = Observability()  # metrics only, tracing off
+        system = MultiGpuSystem(cfg, engine=ENGINE_VECTORIZED, obs=obs)
+        t0 = time.perf_counter()
+        r = system.run(trace)
+        t_obs = min(t_obs, time.perf_counter() - t0)
+        if r_obs is None:
+            r_obs = r
+    return t_bare, t_obs, r_bare, r_obs
+
+
+def run_obs_check(max_accesses: int, n_kernels: int, repeats: int) -> int:
+    """Assert the observability layer's overhead + fidelity contract.
+
+    For each (workload, config) cell: run the vectorized engine bare and
+    with a metrics-only :class:`repro.obs.Observability` attached
+    (interleaved, best-of-*repeats* each), require bit-identical
+    ``RunResult`` and < 5% wall-time overhead on the best times.  A cell
+    over budget is re-measured up to twice before it counts as a
+    failure — single-shot wall clock on a shared machine is noisy, and
+    only a *repeatable* overage means the contract is broken.
+    """
+    worst = 0.0
+    failures = 0
+    for workload in WORKLOADS:
+        spec = _scaled_spec(workload, max_accesses, n_kernels)
+        for label, cfg in _configs().items():
+            trace = generate_trace(spec, cfg)
+            overhead = math.inf
+            for attempt in range(3):
+                t_bare, t_obs, r_bare, r_obs = _measure_obs_cell(
+                    cfg, trace, repeats
+                )
+                overhead = min(overhead, t_obs / t_bare - 1.0)
+                if overhead < OBS_OVERHEAD_LIMIT:
+                    break
+            if r_obs != r_bare:
+                print(f"{workload}/{label}: RunResult DIVERGES under obs")
+                failures += 1
+                continue
+            worst = max(worst, overhead)
+            verdict = "ok" if overhead < OBS_OVERHEAD_LIMIT else "FAIL"
+            if verdict == "FAIL":
+                failures += 1
+            print(
+                f"{workload:8s} {label:14s} bare={t_bare:.4f}s "
+                f"obs={t_obs:.4f}s overhead={overhead:+.1%} {verdict}"
+            )
+    print(
+        f"worst observed overhead {worst:+.1%} "
+        f"(budget {OBS_OVERHEAD_LIMIT:.0%})"
+    )
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -131,11 +212,22 @@ def main(argv=None) -> int:
         help="small traces, fewer repeats: a fast CI engines-still-fast "
         "and engines-still-equal gate (does not write the JSON)",
     )
+    ap.add_argument(
+        "--obs-check",
+        action="store_true",
+        help="assert the observability layer costs < 5%% wall time and "
+        "leaves RunResult bit-identical (does not write the JSON)",
+    )
     ap.add_argument("--repeats", type=int, default=None)
     ap.add_argument(
         "--output", type=Path, default=OUTPUT, help="result JSON path"
     )
     args = ap.parse_args(argv)
+
+    if args.obs_check:
+        return run_obs_check(
+            max_accesses=80000, n_kernels=4, repeats=args.repeats or 5
+        )
 
     if args.smoke:
         payload = run_bench(

@@ -21,13 +21,22 @@ Because CARVE caches remote data in local DRAM, it sends far fewer
 bytes across the fabric — so the same fault costs it far less.
 
 Run:  python examples/fabric_fault_study.py [workload ...]
+
+With ``--trace-dir DIR`` the study additionally re-runs the first
+workload's outage scenario on both systems with full tracing enabled
+and writes one Chrome ``trace_event`` file per system into *DIR*.
+Open them at https://ui.perfetto.dev to compare the two fabrics side
+by side — see docs/observability.md for the guided tour.
 """
 
-import sys
+import argparse
+import os
 
 from repro import PerformanceModel, baseline_config, run_workload
 from repro.analysis.report import format_table
 from repro.config import LinkFaultConfig, LinkFaultEvent
+from repro.obs import Observability
+from repro.obs.export import write_chrome_trace
 from repro.perf.model import geometric_mean
 
 DEFAULT_WORKLOADS = ["Lulesh", "HPGMG", "XSBench", "SSSP", "bfs-road"]
@@ -48,8 +57,40 @@ def geomean_time(cfg, results):
     return geometric_mean([model.total_time_s(r) for r in results.values()])
 
 
+def trace_outage(workload: str, systems: dict, trace_dir: str) -> None:
+    """Re-run *workload*'s outage scenario with tracing; write traces."""
+    os.makedirs(trace_dir, exist_ok=True)
+    print()
+    print(f"Tracing {workload} under the link outage "
+          f"(0 -> 1 dead) on each system:")
+    for sys_name, base in systems.items():
+        cfg = base.replace(link_faults=OUTAGE)
+        obs = Observability(trace=True)
+        result = run_workload(workload, cfg, label=f"{sys_name}/outage",
+                              use_cache=False, obs=obs)
+        path = os.path.join(trace_dir, f"{workload}-{sys_name}-outage"
+                                       ".trace.json")
+        write_chrome_trace(path, result, cfg, obs)
+        total = result.total(include_warmup=True)
+        link = obs.registry.get("link.bytes")
+        bytes_total = sum(link.values().values())
+        print(f"  {sys_name:10s} {len(obs.tracer)} events "
+              f"({obs.tracer.dropped} dropped), "
+              f"remote reads {total.remote_reads:,}, "
+              f"fabric bytes {bytes_total:,} -> {path}")
+    print("Open the trace files at https://ui.perfetto.dev "
+          "(docs/observability.md walks through the comparison).")
+
+
 def main() -> None:
-    workloads = sys.argv[1:] or DEFAULT_WORKLOADS
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("workloads", nargs="*", default=None,
+                    help="Table II abbreviations (default: a fixed five)")
+    ap.add_argument("--trace-dir", metavar="DIR",
+                    help="also trace the first workload's outage run on "
+                         "each system and write Chrome traces into DIR")
+    args = ap.parse_args()
+    workloads = args.workloads or DEFAULT_WORKLOADS
     systems = {
         "numa-gpu": baseline_config(),
         "carve-hwc": baseline_config().with_rdc(),
@@ -93,6 +134,9 @@ def main() -> None:
         print(f"{scen}: NUMA-GPU slows {numa:.2f}x, CARVE {carve:.2f}x "
               f"— the remote-data cache masks {masked:.0%} of the fault's "
               f"cost.")
+
+    if args.trace_dir:
+        trace_outage(workloads[0], systems, args.trace_dir)
 
 
 if __name__ == "__main__":

@@ -6,9 +6,15 @@ Exposes the library's common operations without writing Python:
     python -m repro run Lulesh --system carve-hwc
     python -m repro compare Lulesh            # all headline systems
     python -m repro suite carve-hwc --jobs 4  # fault-tolerant batch
+    python -m repro trace Lulesh              # Perfetto-loadable trace
     python -m repro sharing XSBench           # Fig. 4-style analysis
     python -m repro configs                   # experiment registry
     python -m repro cache --clear             # simulation result cache
+
+``run`` and ``suite`` accept ``--metrics-out PATH`` to dump the metric
+registry (see ``docs/metrics.md``) as JSON; ``trace`` writes Chrome
+``trace_event`` JSON for https://ui.perfetto.dev (see
+``docs/observability.md``).
 
 Exit status: 0 on success, 1 when a batch finished with failed points,
 2 on an invalid configuration.
@@ -24,6 +30,12 @@ from repro.analysis.bottleneck import analyze, render
 from repro.analysis.report import format_table
 from repro.analysis.sharing import profile_sharing
 from repro.config import ConfigError
+from repro.obs import Observability, default_registry
+from repro.obs.export import (
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_json,
+)
 from repro.sim import cache as simcache
 from repro.sim import experiments as E
 from repro.sim.driver import run_workload, time_of
@@ -70,9 +82,39 @@ def _resolve_config(name: str, rdc_gb: Optional[float]):
 
 def _cmd_run(args) -> int:
     cfg = _resolve_config(args.system, args.rdc_gb)
+    obs = Observability() if args.metrics_out else None
     result = run_workload(args.workload, cfg, label=args.system,
-                          use_cache=not args.no_cache)
+                          use_cache=not args.no_cache, obs=obs)
     print(render(analyze(result, cfg)))
+    if obs is not None:
+        write_metrics_json(
+            args.metrics_out, obs,
+            extra={"workload": args.workload, "system": args.system},
+        )
+        print(f"\nmetrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run one workload under full observation and export the trace."""
+    cfg = _resolve_config(args.system, args.rdc_gb)
+    obs = Observability(
+        trace=True, ring=args.ring, sample_every=args.sample
+    )
+    # Tracing requires an actual execution: a disk-cached result would
+    # produce an empty trace, so the cache is always bypassed here.
+    result = run_workload(args.workload, cfg, label=args.system,
+                          use_cache=False, obs=obs)
+    out = args.out or f"{args.workload}-{args.system}.trace.json"
+    write_chrome_trace(out, result, cfg, obs)
+    dropped = obs.tracer.dropped
+    print(f"{len(obs.tracer)} event(s) retained"
+          + (f", {dropped} dropped (ring full)" if dropped else ""))
+    print(f"Chrome trace written to {out} — open at https://ui.perfetto.dev")
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            n = write_jsonl(fh, obs, result)
+        print(f"{n} JSONL record(s) written to {args.jsonl}")
     return 0
 
 
@@ -112,12 +154,14 @@ def _cmd_suite(args) -> int:
         resume=args.resume,
     )
     rdc_bytes = int(args.rdc_gb * 2**30) if args.rdc_gb else 2 * 2**30
+    registry = default_registry() if args.metrics_out else None
     run = E.run_suite(
         args.system,
         workloads=args.workloads,
         rdc_bytes=rdc_bytes,
         use_cache=not args.no_cache,
         runner=policy,
+        registry=registry,
     )
     rows = []
     for abbr in (args.workloads or suite.all_abbrs()):
@@ -132,6 +176,20 @@ def _cmd_suite(args) -> int:
         ["workload", "time", "status"],
         rows, title=f"{args.system} suite (journal: {journal})",
     ))
+    if registry is not None:
+        from repro.obs.summary import summarize_result
+
+        write_metrics_json(
+            args.metrics_out, registry,
+            extra={
+                "system": args.system,
+                "workloads": {
+                    abbr: summarize_result(r)
+                    for abbr, r in run.results.items()
+                },
+            },
+        )
+        print(f"metrics written to {args.metrics_out}")
     if not run.ok:
         print(f"\n{len(run.failures)} failed, {len(run.cancelled)} "
               f"cancelled point(s):", file=sys.stderr)
@@ -197,7 +255,32 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--rdc-gb", type=float, default=None,
                        help="RDC size per GPU in GB (CARVE systems)")
     run_p.add_argument("--no-cache", action="store_true")
+    run_p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the metric registry (docs/metrics.md) "
+                            "as JSON")
     run_p.set_defaults(fn=_cmd_run)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one workload with tracing on; export a Perfetto-"
+             "loadable Chrome trace",
+    )
+    trace_p.add_argument("workload", choices=suite.all_abbrs())
+    trace_p.add_argument("--system", default=E.CARVE_HWC,
+                         choices=sorted(E.experiment_configs()))
+    trace_p.add_argument("--rdc-gb", type=float, default=None,
+                         help="RDC size per GPU in GB (CARVE systems)")
+    trace_p.add_argument("--out", default=None, metavar="PATH",
+                         help="Chrome trace path (default: "
+                              "<workload>-<system>.trace.json)")
+    trace_p.add_argument("--jsonl", default=None, metavar="PATH",
+                         help="also dump events + metrics as JSON Lines")
+    trace_p.add_argument("--ring", type=int, default=65_536, metavar="N",
+                         help="tracer ring-buffer capacity (events)")
+    trace_p.add_argument("--sample", type=int, default=1, metavar="N",
+                         help="keep every Nth occurrence of each event "
+                              "kind (1 = all)")
+    trace_p.set_defaults(fn=_cmd_trace)
 
     cmp_p = sub.add_parser("compare", help="compare the headline systems")
     cmp_p.add_argument("workload", choices=suite.all_abbrs())
@@ -234,6 +317,9 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p.add_argument("--resume", action="store_true",
                          help="skip points the journal records as done")
     suite_p.add_argument("--no-cache", action="store_true")
+    suite_p.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="write runner counters + per-workload metric "
+                              "summaries as JSON")
     suite_p.set_defaults(fn=_cmd_suite)
 
     sh_p = sub.add_parser("sharing", help="page/line sharing analysis")

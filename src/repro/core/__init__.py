@@ -1,1 +1,84 @@
-"""core subpackage of the CARVE reproduction."""
+"""The paper's contribution: CARVE and its coherence machinery.
+
+Everything under ``repro.core`` models a mechanism introduced (or
+analysed) by Young et al., *"Combining HW/SW Mechanisms to Improve NUMA
+Performance of Multi-GPU Systems"* (MICRO 2018):
+
+* :class:`RemoteDataCache` — the Remote Data Cache (RDC), an
+  Alloy-style direct-mapped, tags-with-data DRAM cache carved out of
+  local GPU memory to hold remote lines (Section III).
+* :class:`EpochCounters` — epoch-counter instant invalidation, the
+  trick that makes kernel-boundary software coherence free of explicit
+  flush loops (Section IV-B, Fig. 10).
+* :class:`InMemorySharingTracker` — the IMST, 2-bit per-line sharing
+  state in the home node's spare ECC bits, which filters GPU-VI
+  invalidation broadcasts (Section IV-B, Fig. 12).
+* :func:`make_protocol` and the :class:`CoherenceProtocol` family —
+  none / software / GPU-VI hardware / directory coherence for the RDC
+  (Section IV-B, Fig. 11).
+* :class:`CarveController` — the memory-controller front-end that
+  steers remote accesses through probe / fill / write paths
+  (Section IV-A).
+* :class:`RdcHitPredictor` — MAP-I-style probe bypass, the extension
+  fixing the RandAccess outlier (Section IV-A footnote).
+
+Observability note: RDC, coherence and IMST activity surfaces as the
+``rdc.*``, ``coh.*``, ``epoch.*`` and ``imst.*`` metrics documented in
+``docs/metrics.md``.
+"""
+
+from repro.core.carve import (
+    RDC_BYPASS,
+    RDC_HIT,
+    RDC_MISS,
+    CarveController,
+    RemoteAccessOutcome,
+)
+from repro.core.coherence import (
+    CoherenceProtocol,
+    DirectoryCoherence,
+    DirectoryStats,
+    HardwareCoherence,
+    NoCoherence,
+    SoftwareCoherence,
+    make_protocol,
+)
+from repro.core.epoch import EpochCounters
+from repro.core.hit_predictor import PredictorStats, RdcHitPredictor
+from repro.core.imst import (
+    PRIVATE,
+    READ_SHARED,
+    RW_SHARED,
+    STATE_NAMES,
+    UNCACHED,
+    ImstStats,
+    InMemorySharingTracker,
+)
+from repro.core.rdc import RdcStats, RemoteDataCache
+
+__all__ = [
+    "CarveController",
+    "CoherenceProtocol",
+    "DirectoryCoherence",
+    "DirectoryStats",
+    "EpochCounters",
+    "HardwareCoherence",
+    "ImstStats",
+    "InMemorySharingTracker",
+    "NoCoherence",
+    "PRIVATE",
+    "PredictorStats",
+    "RDC_BYPASS",
+    "RDC_HIT",
+    "RDC_MISS",
+    "READ_SHARED",
+    "RW_SHARED",
+    "RdcHitPredictor",
+    "RdcStats",
+    "RemoteAccessOutcome",
+    "RemoteDataCache",
+    "STATE_NAMES",
+    "SoftwareCoherence",
+    "UNCACHED",
+    "make_protocol",
+]

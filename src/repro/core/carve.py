@@ -47,7 +47,8 @@ _OUTCOME_BYPASS = RemoteAccessOutcome(RDC_BYPASS, probed=False, filled=True)
 
 
 class CarveController:
-    """Per-GPU RDC + predictor front-end for remote memory accesses."""
+    """CARVE memory-controller front-end (Section IV-A): per-GPU RDC +
+    predictor steering for remote memory accesses."""
 
     def __init__(self, gpu_id: int, n_lines: int, config: RdcConfig) -> None:
         self.gpu_id = gpu_id
@@ -108,3 +109,12 @@ class CarveController:
     def kernel_boundary(self, stream: int = 0) -> int:
         """Epoch-advance invalidation; returns dirty lines flushed home."""
         return self.rdc.kernel_boundary_flush(stream)
+
+
+__all__ = [
+    "CarveController",
+    "RDC_BYPASS",
+    "RDC_HIT",
+    "RDC_MISS",
+    "RemoteAccessOutcome",
+]

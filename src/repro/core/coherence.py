@@ -131,6 +131,7 @@ class HardwareCoherence(CoherenceProtocol):
 
 @dataclass
 class DirectoryStats:
+    """Directory lookups and targeted invalidates (Section V-E ext.)."""
     lookups: int = 0
     targeted_invalidates: int = 0
     entries_peak: int = 0
@@ -188,3 +189,14 @@ def make_protocol(
     if name == COHERENCE_DIRECTORY:
         return DirectoryCoherence(n_gpus)
     raise ValueError(f"unknown coherence protocol {name!r}")
+
+
+__all__ = [
+    "CoherenceProtocol",
+    "DirectoryCoherence",
+    "DirectoryStats",
+    "HardwareCoherence",
+    "NoCoherence",
+    "SoftwareCoherence",
+    "make_protocol",
+]

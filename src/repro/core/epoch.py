@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 
 @dataclass
 class EpochCounters:
-    """Per-stream 20-bit (configurable) epoch counters for one GPU."""
+    """Epoch-counter instant invalidation (Section IV-B, Fig. 10):
+    per-stream 20-bit (configurable) epoch counters for one GPU."""
 
     bits: int = 20
     counters: dict[int, int] = field(default_factory=dict)
@@ -52,3 +53,8 @@ class EpochCounters:
     def is_current(self, stored_epoch: int, stream: int = 0) -> bool:
         """Whether a line installed at *stored_epoch* is still valid."""
         return stored_epoch == self.current(stream)
+
+
+__all__ = [
+    "EpochCounters",
+]

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 @dataclass
 class PredictorStats:
+    """Prediction outcomes for the MAP-I-style RDC hit predictor."""
     predictions: int = 0
     predicted_hits: int = 0
     false_hits: int = 0    # predicted hit, actually missed (wasted probe)
@@ -69,3 +70,9 @@ class RdcHitPredictor:
             self.stats.false_hits += 1
         elif not predicted_hit and was_hit:
             self.stats.false_misses += 1
+
+
+__all__ = [
+    "PredictorStats",
+    "RdcHitPredictor",
+]

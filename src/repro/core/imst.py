@@ -34,6 +34,7 @@ STATE_NAMES = {
 
 @dataclass
 class ImstStats:
+    """IMST traffic: broadcasts sent, filtered, demotions (Fig. 12)."""
     reads: int = 0
     writes: int = 0
     broadcasts: int = 0
@@ -46,7 +47,8 @@ class ImstStats:
 
 
 class InMemorySharingTracker:
-    """Sharing state per line at one home node.
+    """The In-Memory Sharing Tracker (IMST, Section IV-B, Fig. 12):
+    2-bit sharing state per line at one home node.
 
     State is stored sparsely: untouched lines are implicitly UNCACHED.
     Alongside the 2-bit state we track the private owner so that an
@@ -134,3 +136,14 @@ class InMemorySharingTracker:
     def storage_bits(self) -> int:
         """ECC bits consumed: 2 bits per tracked line."""
         return 2 * len(self._state)
+
+
+__all__ = [
+    "ImstStats",
+    "InMemorySharingTracker",
+    "PRIVATE",
+    "READ_SHARED",
+    "RW_SHARED",
+    "STATE_NAMES",
+    "UNCACHED",
+]

@@ -28,6 +28,7 @@ from repro.core.epoch import EpochCounters
 
 @dataclass
 class RdcStats:
+    """RDC probe/fill/write totals, incl. stale-epoch misses (§IV-B)."""
     probes: int = 0
     hits: int = 0
     stale_epoch_misses: int = 0
@@ -64,7 +65,8 @@ DIRTY_MAP_REGION_LINES = 64
 
 
 class RemoteDataCache:
-    """Direct-mapped tags-with-data cache over line numbers."""
+    """The paper's Remote Data Cache (RDC, Section III): an
+    Alloy-style direct-mapped, tags-with-data cache over line numbers."""
 
     def __init__(
         self,
@@ -228,3 +230,10 @@ class RemoteDataCache:
             1 for t, e in zip(self._tags, self._epochs) if t >= 0 and e == cur
         )
         return valid / self.n_sets
+
+
+__all__ = [
+    "DIRTY_MAP_REGION_LINES",
+    "RdcStats",
+    "RemoteDataCache",
+]

@@ -1,1 +1,75 @@
-"""numa subpackage of the CARVE reproduction."""
+"""The multi-GPU NUMA substrate the paper's mechanisms plug into.
+
+``repro.numa`` models the transparent multi-GPU system of Young et al.
+(MICRO 2018) — the baseline whose remote-access bottleneck CARVE
+attacks — plus the state-of-the-art software stack the paper layers
+under it (Section II):
+
+* :class:`PageTable` — global page → home-GPU map with first-touch,
+  round-robin and interleaved placement policies, and replica tracking
+  (Section II-C).
+* :class:`MigrationEngine` — counter-based migrate-on-remote-access
+  page migration with TLB-shootdown cost (Sections I, II-C).
+* :class:`ReplicationPlan` / :func:`build_replication_plan` —
+  software read-only page replication, including the ideal
+  replicate-everything upper bound of Fig. 2 (Section II-C).
+* :class:`Interconnect` — directional NVLink-style byte accounting per
+  GPU pair (Section II-A), plus :class:`FaultSchedule`, the seeded
+  link-fault injection layer (degradations and outages with detour
+  routing) used by the fabric-fault study.
+* :class:`MultiGpuSystem` — the system glue: GPUs, memories, page
+  table, links and (optionally) per-GPU CARVE controllers executing a
+  workload trace; accepts an ``obs=`` hook for the observability layer
+  (``repro.obs``).
+* :func:`assess_capacity_loss` — the Unified-Memory capacity-spill
+  model pricing the RDC carve-out (Section V-C, Table V(b)).
+
+NUMA traffic surfaces as the ``mem.*``, ``link.bytes``, ``mig.*`` and
+``repl.*`` metrics documented in ``docs/metrics.md``.
+"""
+
+from repro.numa.interconnect import (
+    OUTAGE_RESIDUAL_SCALE,
+    FaultSchedule,
+    Interconnect,
+)
+from repro.numa.migration import MigrationEngine, MigrationStats
+from repro.numa.pagetable import PageTable, PageTableStats
+from repro.numa.replication import (
+    ReplicationPlan,
+    apply_replication_plan,
+    build_replication_plan,
+    replica_capacity_bytes,
+)
+from repro.numa.system import (
+    ENGINE_REFERENCE,
+    ENGINE_VECTORIZED,
+    GpuNode,
+    MultiGpuSystem,
+)
+from repro.numa.unified_memory import (
+    SpillAssessment,
+    assess_capacity_loss,
+    spilled_access_fraction,
+)
+
+__all__ = [
+    "ENGINE_REFERENCE",
+    "ENGINE_VECTORIZED",
+    "FaultSchedule",
+    "GpuNode",
+    "Interconnect",
+    "MigrationEngine",
+    "MigrationStats",
+    "MultiGpuSystem",
+    "OUTAGE_RESIDUAL_SCALE",
+    "PageTable",
+    "PageTableStats",
+    "ReplicationPlan",
+    "SpillAssessment",
+    "apply_replication_plan",
+    "assess_capacity_loss",
+    "build_replication_plan",
+    "replica_capacity_bytes",
+    "spilled_access_fraction",
+]

@@ -210,3 +210,10 @@ class Interconnect:
             if scale[src][via] > 0.0 and scale[via][dst] > 0.0:
                 return via
         return None
+
+
+__all__ = [
+    "FaultSchedule",
+    "Interconnect",
+    "OUTAGE_RESIDUAL_SCALE",
+]

@@ -20,6 +20,7 @@ from repro.numa.pagetable import PageTable
 
 @dataclass
 class MigrationStats:
+    """Pages moved and remote accesses seen by the migration engine."""
     migrations: int = 0
     remote_accesses_observed: int = 0
     blocked_by_cap: int = 0
@@ -34,7 +35,7 @@ SHOOTDOWN_LATENCY_NS = 5_000.0
 
 
 class MigrationEngine:
-    """Counter-based migrate-on-remote-access policy."""
+    """Counter-based migrate-on-remote-access policy (Section II-C)."""
 
     def __init__(self, table: PageTable, threshold: int = 16,
                  max_moves_per_page: int = 4) -> None:
@@ -97,3 +98,10 @@ class MigrationEngine:
     def add_observed(self, n: int) -> None:
         """Batched ``remote_accesses_observed`` update (engine flush)."""
         self.stats.remote_accesses_observed += n
+
+
+__all__ = [
+    "MigrationEngine",
+    "MigrationStats",
+    "SHOOTDOWN_LATENCY_NS",
+]

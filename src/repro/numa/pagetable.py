@@ -22,6 +22,7 @@ from repro.config import (
 
 @dataclass
 class PageTableStats:
+    """Mapping, migration and replication totals for the page table."""
     pages_mapped: int = 0
     migrations: int = 0
     replicas_created: int = 0
@@ -226,3 +227,9 @@ class PageTable:
         if not self._home:
             return 1.0
         return (self.total_pages + self.total_replicas) / self.total_pages
+
+
+__all__ = [
+    "PageTable",
+    "PageTableStats",
+]

@@ -89,3 +89,11 @@ def replica_capacity_bytes(plan: ReplicationPlan, page_bytes: int) -> int:
     return sum(
         max(0, len(holders) - 1) for holders in plan.replica_holders.values()
     ) * page_bytes
+
+
+__all__ = [
+    "ReplicationPlan",
+    "apply_replication_plan",
+    "build_replication_plan",
+    "replica_capacity_bytes",
+]

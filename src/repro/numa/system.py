@@ -119,11 +119,17 @@ class MultiGpuSystem:
         replication_plan: Optional[ReplicationPlan] = None,
         label: Optional[str] = None,
         engine: str = ENGINE_VECTORIZED,
+        obs=None,
     ) -> None:
         config.validate()
         if engine not in (ENGINE_VECTORIZED, ENGINE_REFERENCE):
             raise ValueError(f"unknown execution engine {engine!r}")
         self.engine = engine
+        #: Optional :class:`repro.obs.Observability`.  Duck-typed (no
+        #: import of repro.obs here) and consulted only on rare paths —
+        #: kernel boundaries, migrations, replica installs — so an
+        #: observed run stays bit-identical to an unobserved one.
+        self.obs = obs
         self.config = config
         self.label = label or _default_label(config)
         self.amap = AddressMap(
@@ -180,6 +186,8 @@ class MultiGpuSystem:
             self.pagetable.replicas_held(g) for g in range(self.config.n_gpus)
         ]
         result.remote_pages_touched = [len(s) for s in self._remote_pages]
+        if self.obs is not None:
+            self.obs.end_run(result, self)
         return result
 
     def run_kernel(self, kernel: KernelTrace) -> KernelStats:
@@ -193,6 +201,8 @@ class MultiGpuSystem:
             warmup=kernel.warmup,
         )
         self._stream = kernel.stream
+        if self.obs is not None:
+            self.obs.begin_kernel(self._kernel_index, kernel.kernel_id)
         self.interconnect.begin_kernel(self._kernel_index)
         self._kernel_index += 1
         dram_before = [
@@ -232,6 +242,10 @@ class MultiGpuSystem:
             )
         else:
             ks.link_bytes = self.interconnect.snapshot_and_reset()
+        if self.obs is not None:
+            # After the boundary + snapshots: ks is complete, including
+            # flush traffic and the (possibly faulted) link matrix.
+            self.obs.end_kernel(ks, self)
         return ks
 
     def kernel_boundary(self, ks: Optional[KernelStats] = None, stream: int = 0) -> None:
@@ -245,7 +259,9 @@ class MultiGpuSystem:
                     if node.carve.defers_home_writes
                     else []
                 )
-                node.carve.kernel_boundary(stream)
+                flushed = node.carve.kernel_boundary(stream)
+                if self.obs is not None:
+                    self.obs.on_epoch_flush(node.gpu_id, flushed)
                 # A write-back RDC must push its dirty lines home.
                 for line in dirty_lines:
                     home = self.pagetable.peek_home(line // self.amap.lines_per_page)
@@ -299,9 +315,11 @@ class MultiGpuSystem:
         """Install planned replicas once the page's home is known."""
         holders = self._replica_holders.get(page)
         if holders:
-            for g in holders:
-                if g != home:
-                    self.pagetable.add_replica(page, g)
+            installed = [g for g in holders if g != home]
+            for g in installed:
+                self.pagetable.add_replica(page, g)
+            if installed and self.obs is not None:
+                self.obs.on_replication(page, installed)
 
     def _precompute(self, lines: np.ndarray, is_write) -> _KernelPrecompute:
         """Derive every per-access quantity that is pure line arithmetic."""
@@ -1066,6 +1084,8 @@ class MultiGpuSystem:
                     n.carve.invalidate(ln)
         st.latency_ns += SHOOTDOWN_LATENCY_NS
         st.migrations += 1
+        if self.obs is not None:
+            self.obs.on_migration(page, gpu, home)
 
 
 def _default_label(config: SystemConfig) -> str:
@@ -1081,3 +1101,11 @@ def _default_label(config: SystemConfig) -> str:
     if config.migration:
         parts.append("mig")
     return "+".join(parts)
+
+
+__all__ = [
+    "ENGINE_REFERENCE",
+    "ENGINE_VECTORIZED",
+    "GpuNode",
+    "MultiGpuSystem",
+]

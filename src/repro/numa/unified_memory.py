@@ -96,3 +96,11 @@ def assess_capacity_loss(
         spilled_access_fraction=frac,
         slowdown=slowdown,
     )
+
+
+__all__ = [
+    "DEFAULT_TRANSFER_AMPLIFICATION",
+    "SpillAssessment",
+    "assess_capacity_loss",
+    "spilled_access_fraction",
+]

@@ -42,20 +42,27 @@ def run_workload(
     label: Optional[str] = None,
     use_cache: bool = True,
     trace: Optional[WorkloadTrace] = None,
+    obs=None,
 ) -> RunResult:
     """Simulate *workload* on *config*; returns the counters.
 
     A pre-generated *trace* bypasses both generation and the cache (used
     by tests that need control over the exact access stream).
+
+    An *obs* (:class:`repro.obs.Observability`) watches the run: metrics
+    and trace events land in it without changing the ``RunResult``.  An
+    observed run always executes (a disk-cached result would leave the
+    registry empty), so the cache is bypassed — but never written to,
+    keeping cached entries equivalent to unobserved runs.
     """
     spec = resolve_workload(workload)
     if trace is not None:
-        return _execute(spec, config, label, trace)
-    if use_cache:
+        return _execute(spec, config, label, trace, obs)
+    if use_cache and obs is None:
         return cache.cached(
-            spec, config, lambda: _execute(spec, config, label, None)
+            spec, config, lambda: _execute(spec, config, label, None, None)
         )
-    return _execute(spec, config, label, None)
+    return _execute(spec, config, label, None, obs)
 
 
 def _execute(
@@ -63,6 +70,7 @@ def _execute(
     config: SystemConfig,
     label: Optional[str],
     trace: Optional[WorkloadTrace],
+    obs=None,
 ) -> RunResult:
     config.validate()
     if trace is None:
@@ -71,7 +79,7 @@ def _execute(
     profile = profile_sharing(trace, config)
     if config.replication != REPLICATE_NONE:
         plan = build_replication_plan(profile, config.replication)
-    system = MultiGpuSystem(config, plan, label)
+    system = MultiGpuSystem(config, plan, label, obs=obs)
     result = system.run(trace)
     result.page_access_counts = profile.sorted_page_access_counts()
     return result

@@ -128,6 +128,7 @@ def run_suite(
     rdc_bytes: int = 2 * GB,
     use_cache: bool = True,
     runner: Optional[RunnerPolicy] = None,
+    registry=None,
 ) -> SuiteRun:
     """Run one named configuration across the workload list.
 
@@ -136,6 +137,9 @@ def run_suite(
     retries, and journal resume; failed workloads land in
     :attr:`SuiteRun.failures` instead of raising.  Without it, the
     serial in-process path runs unchanged (bit-identical results).
+
+    *registry* (a :class:`repro.obs.registry.MetricsRegistry`, runner
+    path only) collects the ``runner.*`` lifecycle counters.
     """
     config = config_for(config_name, base, rdc_bytes)
     names = workloads if workloads is not None else suite.all_abbrs()
@@ -155,7 +159,7 @@ def run_suite(
         )
         for abbr in names
     ]
-    batch = run_tasks(tasks, runner)
+    batch = run_tasks(tasks, runner, registry=registry)
     for abbr in names:
         key = f"{config_name}/{abbr}"
         if key in batch.results:

@@ -12,7 +12,14 @@ Record schema (all events carry ``event``, ``key`` and ``ts``):
 ``retry``   {attempt, kind, exception_type, message, backoff_s}
 ``failed``  {kind, exception_type, message, traceback, config_hash,
              attempts, elapsed_s}
-``done``    {attempt, elapsed_s, config_hash}
+``done``    {attempt, elapsed_s, config_hash, metrics?}
+
+``done`` records for points whose result is a
+:class:`~repro.perf.stats.RunResult` additionally carry a ``metrics``
+digest (see :func:`repro.obs.summary.summarize_result`): kernel count,
+access/remote-access totals, RDC hits/misses, invalidations, page moves,
+replicated pages and total link bytes — enough to grep a sweep's journal
+for anomalies without unpickling any sidecar result.
 
 Results of completed points are pickled to
 ``<journal-stem>-results/<sha256(key)[:24]>.pkl`` next to the journal, so

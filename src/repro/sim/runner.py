@@ -45,6 +45,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Optional, Sequence, Union
 
+from repro.obs.metrics import spec_for
+from repro.obs.summary import summarize_result
 from repro.sim.journal import Journal
 
 #: Failure kinds carried by :class:`FailureReport`.
@@ -233,9 +235,57 @@ def _maybe_inject_fault(key: str) -> None:
 # Batch execution
 # ---------------------------------------------------------------------------
 
-def run_tasks(tasks: Sequence[Task], policy: RunnerPolicy) -> BatchResult:
-    """Execute *tasks* under *policy*; never raises for task failures."""
+class _Telemetry:
+    """Optional metric/event sink for runner lifecycle happenings.
+
+    Wraps a :class:`repro.obs.registry.MetricsRegistry` (``runner.*``
+    counters from the contract in :mod:`repro.obs.metrics`) and/or an
+    ``Observability`` (retry trace events).  Every method is a cheap
+    no-op when nothing was attached.
+    """
+
+    def __init__(self, registry, obs) -> None:
+        self._obs = obs
+        self._attempts = self._retries = self._failures = None
+        if registry is not None:
+            self._attempts = registry.register(spec_for("runner.attempts"))
+            self._retries = registry.register(spec_for("runner.retries"))
+            self._failures = registry.register(spec_for("runner.failures"))
+
+    def attempt(self) -> None:
+        if self._attempts is not None:
+            self._attempts.inc()
+
+    def retry(self, key: str, attempt: int, kind: str) -> None:
+        if self._retries is not None:
+            self._retries.inc()
+        if self._obs is not None:
+            self._obs.on_runner_retry(key, attempt, kind)
+
+    def failure(self, kind: str) -> None:
+        if self._failures is not None:
+            self._failures.inc(kind=kind)
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    policy: RunnerPolicy,
+    registry=None,
+    obs=None,
+) -> BatchResult:
+    """Execute *tasks* under *policy*; never raises for task failures.
+
+    *registry* (a :class:`repro.obs.registry.MetricsRegistry`) collects
+    the ``runner.attempts`` / ``runner.retries`` / ``runner.failures``
+    counters; *obs* (a :class:`repro.obs.Observability`) additionally
+    receives ``runner.retry`` trace events (its registry is used when
+    *registry* is not given).  Both are observational only — task
+    scheduling, retries, and results are unaffected.
+    """
     policy.validate()
+    if registry is None and obs is not None:
+        registry = obs.registry
+    telem = _Telemetry(registry, obs)
     keys = [t.key for t in tasks]
     if len(set(keys)) != len(keys):
         raise ValueError("task keys must be unique within a batch")
@@ -257,9 +307,9 @@ def run_tasks(tasks: Sequence[Task], policy: RunnerPolicy) -> BatchResult:
         todo = list(tasks)
 
     if policy.isolated:
-        _run_isolated(todo, policy, journal, batch)
+        _run_isolated(todo, policy, journal, batch, telem)
     else:
-        _run_inline(todo, policy, journal, batch)
+        _run_inline(todo, policy, journal, batch, telem)
     return batch
 
 
@@ -274,9 +324,13 @@ def _record_success(
     batch.results[task.key] = result
     if journal is not None:
         journal.store_result(task.key, result)
+        # RunResult-shaped outcomes enrich the done record with a compact
+        # metric digest (rdc.hit, link.bytes, ...) for journal greps.
+        metrics = summarize_result(result)
+        extra = {"metrics": metrics} if metrics is not None else {}
         journal.append(
             "done", task.key, attempt=attempt, elapsed_s=elapsed_s,
-            config_hash=task.config_hash,
+            config_hash=task.config_hash, **extra,
         )
 
 
@@ -296,6 +350,7 @@ def _run_inline(
     policy: RunnerPolicy,
     journal: Optional[Journal],
     batch: BatchResult,
+    telem: _Telemetry,
 ) -> None:
     """Serial in-process execution (the bit-identical default path)."""
     for i, task in enumerate(todo):
@@ -304,6 +359,7 @@ def _run_inline(
         while True:
             if journal is not None:
                 journal.append("start", task.key, attempt=attempt)
+            telem.attempt()
             try:
                 _maybe_inject_fault(task.key)
                 result = task.fn(*task.args)
@@ -317,6 +373,7 @@ def _run_inline(
                             exception_type=type(exc).__name__,
                             message=str(exc), backoff_s=delay,
                         )
+                    telem.retry(task.key, attempt, KIND_EXCEPTION)
                     if delay > 0:
                         time.sleep(delay)
                     attempt += 1
@@ -329,6 +386,7 @@ def _run_inline(
                     elapsed_s=time.perf_counter() - started,
                 )
                 _record_failure(batch, journal, task, report)
+                telem.failure(KIND_EXCEPTION)
                 if not policy.keep_going:
                     batch.cancelled.extend(t.key for t in todo[i + 1:])
                     return
@@ -382,6 +440,7 @@ def _run_isolated(
     policy: RunnerPolicy,
     journal: Optional[Journal],
     batch: BatchResult,
+    telem: _Telemetry,
 ) -> None:
     """Crash-isolated execution: one worker subprocess per attempt."""
     ctx = _mp_context()
@@ -405,6 +464,7 @@ def _run_isolated(
                 entry.task, entry.attempt + 1,
                 time.monotonic() + delay, entry.first_started,
             ))
+            telem.retry(entry.task.key, entry.attempt, kind)
             return
         report = FailureReport(
             key=entry.task.key, kind=kind, exception_type=exc_type,
@@ -413,6 +473,7 @@ def _run_isolated(
             elapsed_s=time.perf_counter() - entry.first_started,
         )
         _record_failure(batch, journal, entry.task, report)
+        telem.failure(kind)
         if not policy.keep_going:
             stop = True
 
@@ -453,6 +514,7 @@ def _run_isolated(
                 ))
                 if journal is not None:
                     journal.append("start", task.key, attempt=attempt)
+                telem.attempt()
                 launched = True
                 break
 

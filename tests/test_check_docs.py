@@ -1,0 +1,81 @@
+"""Tests for the docs consistency checker (tools/check_docs.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_docs", mod)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestLinks:
+    def test_broken_relative_link_flagged(self, checker, tmp_path):
+        md = tmp_path / "a.md"
+        md.write_text("[dead](nope/gone.md)\n")
+        problems = checker.check_links(md, tmp_path)
+        assert len(problems) == 1
+        assert "nope/gone.md" in problems[0]
+
+    def test_existing_link_and_anchor_ok(self, checker, tmp_path):
+        (tmp_path / "b.md").write_text("# target\n")
+        md = tmp_path / "a.md"
+        md.write_text("[ok](b.md#target) [ext](https://example.com/x.md)\n")
+        assert checker.check_links(md, tmp_path) == []
+
+
+class TestMetricTokens:
+    def test_unknown_metric_flagged(self, checker, tmp_path):
+        md = tmp_path / "a.md"
+        md.write_text("counts `rdc.hits` per kernel\n")  # typo: hits
+        problems = checker.check_metric_tokens(md, tmp_path)
+        assert len(problems) == 1
+        assert "rdc.hits" in problems[0]
+
+    def test_known_metric_and_event_ok(self, checker, tmp_path):
+        md = tmp_path / "a.md"
+        md.write_text("`rdc.hit{gpu}` and `link.bytes{src,dst}` "
+                      "and the `mig.page` event\n")
+        assert checker.check_metric_tokens(md, tmp_path) == []
+
+    def test_label_mismatch_flagged(self, checker, tmp_path):
+        md = tmp_path / "a.md"
+        md.write_text("`link.bytes{dst,src}`\n")
+        problems = checker.check_metric_tokens(md, tmp_path)
+        assert len(problems) == 1 and "labels" in problems[0]
+
+    def test_module_paths_ignored(self, checker, tmp_path):
+        md = tmp_path / "a.md"
+        md.write_text("see `repro.obs.registry` and `numpy.ndarray`\n")
+        assert checker.check_metric_tokens(md, tmp_path) == []
+
+
+class TestReferenceCompleteness:
+    def test_missing_reference_file_flagged(self, checker, tmp_path):
+        problems = checker.check_reference_complete(tmp_path)
+        assert problems == ["docs/metrics.md is missing"]
+
+    def test_undocumented_metric_flagged(self, checker, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "metrics.md").write_text("# empty\n")
+        problems = checker.check_reference_complete(tmp_path)
+        assert any("rdc.hit" in p for p in problems)
+
+
+class TestRealRepo:
+    def test_repository_docs_are_clean(self, checker):
+        assert checker.run_checks(REPO_ROOT) == []

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Docs consistency checker (run by the CI docs job).
+
+Two families of checks over the repository's Markdown:
+
+1. **Intra-repo links** — every relative Markdown link target
+   (``[text](path)``, anchors stripped) must exist on disk.  External
+   links (``http(s)://``, ``mailto:``) are ignored.
+2. **Metric names** — every backticked token that *looks like* a metric
+   (dotted lower-case name whose first segment is a known metric
+   subsystem, e.g. `` `rdc.hit` `` or `` `link.bytes{src,dst}` ``) must
+   resolve against the live registry (`repro.obs.metrics.METRIC_NAMES`)
+   or the trace-event kinds (`repro.obs.events.EVENT_KINDS`); rendered
+   labels must match the spec's declared labels.  The reverse holds
+   too: every registered metric and event kind must be documented in
+   ``docs/metrics.md``.
+
+Metric names are stable contracts (see docs/metrics.md); this checker
+is what enforces the contract in both directions.
+
+Usage:  python tools/check_docs.py [repo_root]
+Exit status 0 when clean, 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.events import EVENT_KINDS  # noqa: E402
+from repro.obs.metrics import SPECS  # noqa: E402
+
+#: Directories never scanned for Markdown.
+SKIP_DIRS = {".git", ".simcache", ".repro-journal", "results",
+             "node_modules", "__pycache__"}
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_TOKEN_RE = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+"
+                       r"(?:\{[a-z_][a-z_,]*\})?)`")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """Every tracked-ish Markdown file under *root* (skip caches etc.)."""
+    out = []
+    for path in sorted(root.rglob("*.md")):
+        rel = path.relative_to(root)
+        if any(part in SKIP_DIRS for part in rel.parts):
+            continue
+        out.append(path)
+    return out
+
+
+def check_links(md: Path, root: Path) -> list[str]:
+    """Broken relative link targets in one file, as problem strings."""
+    problems = []
+    text = md.read_text(encoding="utf-8")
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = (md.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{md.relative_to(root)}: broken link -> {match.group(1)}"
+            )
+    return problems
+
+
+def _known_names() -> tuple[dict[str, tuple[str, ...]], set[str]]:
+    """(metric name -> labels, valid prefixes) from the live registry."""
+    metrics = {spec.name: spec.labels for spec in SPECS}
+    prefixes = {name.split(".", 1)[0] for name in metrics}
+    prefixes |= {kind.split(".", 1)[0] for kind in EVENT_KINDS if "." in kind}
+    return metrics, prefixes
+
+
+def check_metric_tokens(md: Path, root: Path) -> list[str]:
+    """Backticked metric-looking tokens that don't resolve, per file."""
+    metrics, prefixes = _known_names()
+    problems = []
+    text = md.read_text(encoding="utf-8")
+    for match in _TOKEN_RE.finditer(text):
+        token = match.group(1)
+        name, _, labels_part = token.partition("{")
+        if name.split(".", 1)[0] not in prefixes:
+            continue  # a module path or similar, not a metric
+        if name not in metrics:
+            if name in EVENT_KINDS and not labels_part:
+                continue
+            problems.append(
+                f"{md.relative_to(root)}: unknown metric `{token}` "
+                f"(not in repro.obs registry or event kinds)"
+            )
+            continue
+        if labels_part:
+            rendered = tuple(labels_part.rstrip("}").split(","))
+            if rendered != metrics[name]:
+                problems.append(
+                    f"{md.relative_to(root)}: `{token}` labels "
+                    f"{rendered} != spec labels {metrics[name]}"
+                )
+    return problems
+
+
+def check_reference_complete(root: Path) -> list[str]:
+    """Every registered metric / event kind appears in docs/metrics.md."""
+    ref = root / "docs" / "metrics.md"
+    if not ref.exists():
+        return ["docs/metrics.md is missing"]
+    text = ref.read_text(encoding="utf-8")
+    problems = []
+    for spec in SPECS:
+        rendered = spec.name + (
+            "{" + ",".join(spec.labels) + "}" if spec.labels else ""
+        )
+        if f"`{rendered}`" not in text:
+            problems.append(
+                f"docs/metrics.md: registered metric `{rendered}` "
+                f"is undocumented"
+            )
+    for kind in sorted(EVENT_KINDS):
+        if f"`{kind}`" not in text:
+            problems.append(
+                f"docs/metrics.md: trace-event kind `{kind}` is undocumented"
+            )
+    return problems
+
+
+def run_checks(root: Path) -> list[str]:
+    problems: list[str] = []
+    for md in markdown_files(root):
+        problems.extend(check_links(md, root))
+        problems.extend(check_metric_tokens(md, root))
+    problems.extend(check_reference_complete(root))
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else REPO_ROOT
+    problems = run_checks(root)
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"{len(problems)} docs problem(s).", file=sys.stderr)
+        return 1
+    n = len(markdown_files(root))
+    print(f"docs ok: {n} markdown files, "
+          f"{len(SPECS)} metrics + {len(EVENT_KINDS)} event kinds "
+          f"cross-checked.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
