@@ -9,13 +9,31 @@ reported by pytest-benchmark for free.
 
 Simulation results are memoised on disk (see :mod:`repro.sim.cache`), so
 the full harness is expensive only on its first run.
+
+Benchmarks that persist a machine-readable payload (``BENCH_*.json`` at
+the repository root) write it through :func:`save_bench_json`, which
+stamps the payload with a ``provenance`` block (schema version,
+generation timestamp, git sha, simulator CODE_VERSION) and carries a
+bounded ``history`` of previous stamped runs forward, so
+``python -m repro report`` can render the headline numbers as a trend
+across PRs (see ``docs/regression.md``).
 """
 
 from __future__ import annotations
 
+import json
+from datetime import datetime, timezone
 from pathlib import Path
+from typing import Iterable, Optional, Union
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Version of the stamped BENCH_*.json envelope (payload + provenance +
+#: history).  Bump when the envelope shape changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Upper bound on carried-forward history entries per payload.
+BENCH_HISTORY_LIMIT = 50
 
 
 def save_result(name: str, text: str) -> Path:
@@ -23,6 +41,76 @@ def save_result(name: str, text: str) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    return path
+
+
+def bench_provenance(trend_keys: Iterable[str] = ()) -> dict:
+    """The ``provenance`` stamp for a BENCH_*.json payload.
+
+    *trend_keys* names the top-level payload scalars (e.g.
+    ``speedup_geomean``) worth tracking run-over-run; the report's trend
+    table uses them as columns.
+    """
+    from repro.obs.baseline import environment_fingerprint
+
+    fp = environment_fingerprint()
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_sha": fp.get("git_sha"),
+        "code_version": fp.get("code_version"),
+        "python": fp.get("python"),
+        "trend_keys": list(trend_keys),
+    }
+
+
+def _history_entry(prev: dict) -> Optional[dict]:
+    """Condense a previously stamped payload into one trend row."""
+    stamp = prev.get("provenance")
+    if not isinstance(stamp, dict):
+        return None  # pre-stamping payload: no trustworthy attribution
+    entry = {
+        "generated_at": stamp.get("generated_at"),
+        "git_sha": stamp.get("git_sha"),
+        "code_version": stamp.get("code_version"),
+    }
+    for key in stamp.get("trend_keys") or ():
+        if key in prev:
+            entry[key] = prev[key]
+    return entry
+
+
+def save_bench_json(
+    path: Union[str, Path],
+    payload: dict,
+    trend_keys: Iterable[str] = (),
+) -> Path:
+    """Stamp *payload* and write it to *path*, appending trend history.
+
+    If *path* already holds a stamped payload, its headline numbers are
+    condensed into one ``history`` entry and carried forward (bounded at
+    :data:`BENCH_HISTORY_LIMIT`), so the file accumulates a run-over-run
+    trend instead of overwriting it.
+    """
+    path = Path(path)
+    history: list = []
+    if path.exists():
+        try:
+            prev = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            prev = None
+        if isinstance(prev, dict):
+            history = [e for e in prev.get("history") or ()
+                       if isinstance(e, dict)]
+            entry = _history_entry(prev)
+            if entry is not None:
+                history.append(entry)
+    out = dict(payload)
+    out["provenance"] = bench_provenance(trend_keys)
+    out["history"] = history[-BENCH_HISTORY_LIMIT:]
+    path.write_text(json.dumps(out, indent=2) + "\n")
     return path
 
 

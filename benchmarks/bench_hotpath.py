@@ -4,7 +4,10 @@ Times both :class:`MultiGpuSystem` engines over suite workloads under the
 paper's main configurations and records accesses/second (plus the
 speedup of the vectorized engine over the reference per-access loop) to
 ``BENCH_hotpath.json`` at the repository root, so the perf trajectory of
-the hot path is tracked from PR to PR.
+the hot path is tracked from PR to PR.  The payload is stamped with a
+provenance block (git sha, CODE_VERSION, timestamp) and carries a
+run-over-run trend history — see ``_common.save_bench_json`` and
+``docs/regression.md``.
 
 Each (workload, config) cell is timed best-of-N (wall-clock noise between
 otherwise identical runs is easily 20-30% on shared machines; the minimum
@@ -28,11 +31,12 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
-import json
 import math
 import sys
 import time
 from pathlib import Path
+
+from _common import save_bench_json
 
 from repro.config import (
     COHERENCE_HARDWARE,
@@ -239,7 +243,10 @@ def main(argv=None) -> int:
     payload = run_bench(
         max_accesses=80000, n_kernels=4, repeats=args.repeats or 5
     )
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    save_bench_json(
+        args.output, payload,
+        trend_keys=("speedup_geomean", "speedup_min"),
+    )
     print(
         f"geomean x{payload['speedup_geomean']:.2f}, "
         f"min x{payload['speedup_min']:.2f} -> {args.output}"

@@ -10,14 +10,20 @@ Exposes the library's common operations without writing Python:
     python -m repro sharing XSBench           # Fig. 4-style analysis
     python -m repro configs                   # experiment registry
     python -m repro cache --clear             # simulation result cache
+    python -m repro baseline record           # commit run records
+    python -m repro baseline compare          # two-tier regression gate
+    python -m repro report                    # markdown/HTML dashboard
 
-``run`` and ``suite`` accept ``--metrics-out PATH`` to dump the metric
-registry (see ``docs/metrics.md``) as JSON; ``trace`` writes Chrome
-``trace_event`` JSON for https://ui.perfetto.dev (see
-``docs/observability.md``).
+``run``, ``suite`` and ``trace`` all accept ``--metrics-out PATH`` to
+dump the metric registry (see ``docs/metrics.md``) as JSON; ``trace``
+additionally writes Chrome ``trace_event`` JSON for
+https://ui.perfetto.dev (see ``docs/observability.md``).  The baseline
+store, the regression gate's two tiers, and the report layout are
+documented in ``docs/regression.md``.
 
-Exit status: 0 on success, 1 when a batch finished with failed points,
-2 on an invalid configuration.
+Exit status: 0 on success, 1 when a batch finished with failed points
+(or a baseline comparison found a regression), 2 on an invalid
+configuration or a missing baseline.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from repro.obs.export import (
     write_jsonl,
     write_metrics_json,
 )
+from repro.numa.system import ENGINE_REFERENCE, ENGINE_VECTORIZED
 from repro.sim import cache as simcache
 from repro.sim import experiments as E
 from repro.sim.driver import run_workload, time_of
@@ -44,6 +51,13 @@ from repro.workloads import suite
 from repro.workloads.base import generate_trace
 
 _HEADLINE = (E.SINGLE_GPU, E.NUMA_GPU, E.NUMA_REPL_RO, E.CARVE_HWC, E.IDEAL)
+
+#: Points covered by ``baseline record``/``compare`` when not narrowed:
+#: the CARVE headline system against the NUMA baseline, on two
+#: behaviourally different workloads — small enough to re-run in
+#: seconds, wide enough to catch traffic-shape drift.
+DEFAULT_BASELINE_SYSTEMS = (E.CARVE_HWC, E.NUMA_GPU)
+DEFAULT_BASELINE_WORKLOADS = ("Lulesh", "Euler")
 
 
 def _cmd_list(_args) -> int:
@@ -115,6 +129,12 @@ def _cmd_trace(args) -> int:
         with open(args.jsonl, "w") as fh:
             n = write_jsonl(fh, obs, result)
         print(f"{n} JSONL record(s) written to {args.jsonl}")
+    if args.metrics_out:
+        write_metrics_json(
+            args.metrics_out, obs,
+            extra={"workload": args.workload, "system": args.system},
+        )
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -222,6 +242,124 @@ def _cmd_sharing(args) -> int:
     return 0
 
 
+def _cmd_baseline(args) -> int:
+    """Record, compare, or list the committed baseline store."""
+    from repro.obs.baseline import (
+        BaselineStore,
+        collect_run_record,
+        store_points,
+    )
+    from repro.obs.regress import (
+        RegressionPolicy,
+        compare_records,
+        summarize_reports,
+    )
+
+    store = BaselineStore(args.dir)
+
+    if args.action == "list":
+        entries = store.entries()
+        if not entries:
+            print(f"baseline store {store.root} is empty")
+            return 0
+        rows = []
+        for e in entries:
+            fp = e.record.get("fingerprint", {})
+            det = e.record.get("deterministic", {})
+            rows.append([
+                e.system, e.workload,
+                str(fp.get("code_version", "-")),
+                fp.get("git_sha") or "-",
+                fp.get("engine", "-"),
+                f"{det.get('sim.accesses', 0):,}",
+            ])
+        print(format_table(
+            ["system", "workload", "code ver", "git sha", "engine",
+             "accesses"],
+            rows, title=f"baseline store ({store.root})",
+        ))
+        return 0
+
+    rdc_bytes = int(args.rdc_gb * 2**30) if args.rdc_gb else 2 * 2**30
+    points = store_points(store, args.systems, args.workloads)
+
+    if args.action == "record":
+        for system, workload in points:
+            cfg = E.config_for(system, rdc_bytes=rdc_bytes)
+            record = collect_run_record(
+                workload, system, cfg,
+                engine=args.engine, repeats=args.repeats,
+            )
+            path = store.save(record)
+            det = record["deterministic"]
+            print(f"recorded {system}/{workload} -> {path} "
+                  f"(accesses={det['sim.accesses']:,}, "
+                  f"rdc.hit={det['rdc.hit']:,})")
+        return 0
+
+    # compare: re-run every point and gate it against the store.
+    policy = RegressionPolicy(
+        wall_epsilon=args.wall_epsilon,
+        deterministic_only=args.deterministic_only,
+    )
+    reports = []
+    missing = []
+    for system, workload in points:
+        baseline = store.load(system, workload)
+        if baseline is None:
+            missing.append(f"{system}/{workload}")
+            continue
+        cfg = E.config_for(system, rdc_bytes=rdc_bytes)
+        current = collect_run_record(
+            workload, system, cfg,
+            engine=args.engine, repeats=args.repeats,
+        )
+        reports.append(compare_records(baseline, current, policy))
+    if reports:
+        print(summarize_reports(reports))
+    if args.report:
+        from repro.obs.report import comparison_markdown
+
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(comparison_markdown(reports) + "\n")
+        print(f"comparison report written to {args.report}")
+    if missing:
+        print(
+            f"no baseline recorded for: {', '.join(missing)} "
+            f"(run `python -m repro baseline record` first)",
+            file=sys.stderr,
+        )
+        return 2
+    return 0 if all(r.ok for r in reports) else 1
+
+
+def _cmd_report(args) -> int:
+    """Aggregate journals + metrics dumps into the markdown dashboard."""
+    from pathlib import Path
+
+    from repro.obs.report import build_report, markdown_to_html
+
+    journals = args.journal or sorted(
+        str(p) for p in default_journal_dir().glob("*.jsonl")
+    )
+    bench = args.bench or sorted(
+        str(p) for p in Path(".").glob("BENCH_*.json")
+    )
+    md = build_report(
+        journal_paths=journals,
+        metrics_paths=args.metrics or (),
+        bench_paths=bench,
+    )
+    Path(args.out).write_text(md, encoding="utf-8")
+    print(f"report written to {args.out} "
+          f"({len(journals)} journal(s), {len(args.metrics or ())} "
+          f"metrics dump(s), {len(bench)} bench payload(s))")
+    if args.html:
+        Path(args.html).write_text(markdown_to_html(md), encoding="utf-8")
+        print(f"HTML report written to {args.html}")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     if args.clear:
         n = simcache.clear()
@@ -280,6 +418,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--sample", type=int, default=1, metavar="N",
                          help="keep every Nth occurrence of each event "
                               "kind (1 = all)")
+    trace_p.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="also write the metric registry "
+                              "(docs/metrics.md) as JSON")
     trace_p.set_defaults(fn=_cmd_trace)
 
     cmp_p = sub.add_parser("compare", help="compare the headline systems")
@@ -329,6 +470,66 @@ def build_parser() -> argparse.ArgumentParser:
     cache_p = sub.add_parser("cache", help="inspect/clear the result cache")
     cache_p.add_argument("--clear", action="store_true")
     cache_p.set_defaults(fn=_cmd_cache)
+
+    base_p = sub.add_parser(
+        "baseline",
+        help="record/compare/list the committed run-record baseline "
+             "store (docs/regression.md)",
+    )
+    base_p.add_argument("action", choices=("record", "compare", "list"))
+    base_p.add_argument("--dir", default="baselines", metavar="DIR",
+                        help="baseline store root (default: baselines/)")
+    base_p.add_argument("--systems", nargs="+",
+                        choices=sorted(E.experiment_configs()),
+                        default=list(DEFAULT_BASELINE_SYSTEMS),
+                        help="systems to record/compare "
+                             "(default: carve-hwc numa-gpu)")
+    base_p.add_argument("--workloads", nargs="+",
+                        choices=suite.all_abbrs(),
+                        default=list(DEFAULT_BASELINE_WORKLOADS),
+                        help="workloads to record/compare "
+                             "(default: Lulesh Euler)")
+    base_p.add_argument("--engine", default=ENGINE_VECTORIZED,
+                        choices=(ENGINE_VECTORIZED, ENGINE_REFERENCE),
+                        help="execution engine; deterministic counters "
+                             "must be bit-exact across engines")
+    base_p.add_argument("--rdc-gb", type=float, default=None,
+                        help="RDC size per GPU in GB (CARVE systems)")
+    base_p.add_argument("--repeats", type=int, default=2, metavar="N",
+                        help="wall-time repeats per point (best-of-N)")
+    base_p.add_argument("--wall-epsilon", type=float, default=0.5,
+                        metavar="FRACTION",
+                        help="tolerated relative wall-throughput loss "
+                             "before the band tier fails (compare)")
+    base_p.add_argument("--deterministic-only", action="store_true",
+                        help="gate only bit-exact traffic counters "
+                             "(CI mode: immune to machine noise)")
+    base_p.add_argument("--report", default=None, metavar="PATH",
+                        help="write the comparison as markdown (compare)")
+    base_p.set_defaults(fn=_cmd_baseline)
+
+    report_p = sub.add_parser(
+        "report",
+        help="aggregate journals/metrics/bench payloads into a "
+             "markdown (+HTML) dashboard",
+    )
+    report_p.add_argument("--journal", nargs="+", default=None,
+                          metavar="PATH",
+                          help="runner journal(s) (default: every "
+                               ".jsonl under .repro-journal/)")
+    report_p.add_argument("--metrics", nargs="+", default=None,
+                          metavar="PATH",
+                          help="--metrics-out JSON dump(s) to render "
+                               "link-traffic matrices from")
+    report_p.add_argument("--bench", nargs="+", default=None,
+                          metavar="PATH",
+                          help="stamped BENCH_*.json payload(s) "
+                               "(default: BENCH_*.json in the cwd)")
+    report_p.add_argument("--out", default="report.md", metavar="PATH",
+                          help="markdown output path (default: report.md)")
+    report_p.add_argument("--html", default=None, metavar="PATH",
+                          help="also render a standalone HTML page")
+    report_p.set_defaults(fn=_cmd_report)
 
     return parser
 

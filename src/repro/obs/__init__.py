@@ -21,6 +21,19 @@ instead of end-of-run aggregates.  It has four pieces:
   and, with tracing off, within the <5% overhead budget enforced by
   ``benchmarks/bench_hotpath.py --obs-check``.
 
+On top of the live layer sits the *run-over-run* layer (see
+``docs/regression.md``):
+
+* :mod:`repro.obs.baseline` — schema-versioned run records (metric
+  digest + perf-model times + environment fingerprint) and the
+  committed ``baselines/`` store (``python -m repro baseline``).
+* :mod:`repro.obs.regress` — the two-tier regression checker: bit-exact
+  gates for deterministic traffic counters, tolerance bands for
+  throughput/latency.
+* :mod:`repro.obs.report` — ``python -m repro report``: journals +
+  metrics dumps + stamped benchmark payloads rendered as one
+  markdown/HTML dashboard.
+
 Quickstart::
 
     from repro import carve_config, run_workload

@@ -134,6 +134,11 @@ SPECS: tuple = (
     MetricSpec("trace.dropped", KIND_COUNTER, "events", (),
                "Events evicted from the tracer ring buffer (capacity "
                "overflow).", "repro infra"),
+    # -- obs self-accounting ---------------------------------------------
+    MetricSpec("obs.digest_errors", KIND_COUNTER, "failures", (),
+               "Result digest computations that raised and were skipped "
+               "(summarize_result); the journal 'done' record then "
+               "carries no metrics field.", "repro infra"),
     # -- gauges ----------------------------------------------------------
     MetricSpec("mem.pages_mapped", KIND_GAUGE, "pages", _G,
                "Pages homed on each GPU at end of run.", "§2.2"),

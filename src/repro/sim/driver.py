@@ -20,7 +20,7 @@ from repro.analysis.sharing import profile_sharing
 from repro.config import REPLICATE_NONE, SystemConfig
 from repro.gpu.cta import WorkloadTrace
 from repro.numa.replication import ReplicationPlan, build_replication_plan
-from repro.numa.system import MultiGpuSystem
+from repro.numa.system import ENGINE_VECTORIZED, MultiGpuSystem
 from repro.perf.model import PerformanceModel, RunTime
 from repro.perf.stats import RunResult
 from repro.sim import cache
@@ -43,6 +43,7 @@ def run_workload(
     use_cache: bool = True,
     trace: Optional[WorkloadTrace] = None,
     obs=None,
+    engine: Optional[str] = None,
 ) -> RunResult:
     """Simulate *workload* on *config*; returns the counters.
 
@@ -54,15 +55,22 @@ def run_workload(
     observed run always executes (a disk-cached result would leave the
     registry empty), so the cache is bypassed — but never written to,
     keeping cached entries equivalent to unobserved runs.
+
+    *engine* selects the execution engine (``ENGINE_VECTORIZED`` when
+    None).  Engines are counter-identical, but an explicit non-default
+    engine bypasses the cache so the requested engine actually runs
+    (the baseline gate relies on this to cross-check both engines).
     """
     spec = resolve_workload(workload)
     if trace is not None:
-        return _execute(spec, config, label, trace, obs)
-    if use_cache and obs is None:
+        return _execute(spec, config, label, trace, obs, engine)
+    default_engine = engine in (None, ENGINE_VECTORIZED)
+    if use_cache and obs is None and default_engine:
         return cache.cached(
-            spec, config, lambda: _execute(spec, config, label, None, None)
+            spec, config,
+            lambda: _execute(spec, config, label, None, None, None),
         )
-    return _execute(spec, config, label, None, obs)
+    return _execute(spec, config, label, None, obs, engine)
 
 
 def _execute(
@@ -71,6 +79,7 @@ def _execute(
     label: Optional[str],
     trace: Optional[WorkloadTrace],
     obs=None,
+    engine: Optional[str] = None,
 ) -> RunResult:
     config.validate()
     if trace is None:
@@ -79,7 +88,9 @@ def _execute(
     profile = profile_sharing(trace, config)
     if config.replication != REPLICATE_NONE:
         plan = build_replication_plan(profile, config.replication)
-    system = MultiGpuSystem(config, plan, label, obs=obs)
+    system = MultiGpuSystem(
+        config, plan, label, engine=engine or ENGINE_VECTORIZED, obs=obs
+    )
     result = system.run(trace)
     result.page_access_counts = profile.sorted_page_access_counts()
     return result

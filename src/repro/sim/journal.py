@@ -8,11 +8,17 @@ from the sidecar results directory), and re-runs everything else.
 
 Record schema (all events carry ``event``, ``key`` and ``ts``):
 
+``meta``    {fingerprint} — batch environment (schema version,
+            simulator CODE_VERSION, git sha, python); ``key`` is empty
 ``start``   {attempt}
 ``retry``   {attempt, kind, exception_type, message, backoff_s}
 ``failed``  {kind, exception_type, message, traceback, config_hash,
              attempts, elapsed_s}
 ``done``    {attempt, elapsed_s, config_hash, metrics?}
+
+The ``meta`` fingerprint is what lets ``python -m repro report`` and the
+baseline/regression tooling (``docs/regression.md``) attribute every
+digest in a journal to the code revision that produced it.
 
 ``done`` records for points whose result is a
 :class:`~repro.perf.stats.RunResult` additionally carry a ``metrics``
@@ -89,6 +95,20 @@ class Journal:
                 if isinstance(rec, dict) and "event" in rec and "key" in rec:
                     out.append(rec)
         return out
+
+    def meta(self) -> Optional[dict]:
+        """The latest environment fingerprint stamped into the journal.
+
+        A journal appended to by several batches (e.g. ``--resume``)
+        carries one ``meta`` record per batch; the newest wins because
+        it describes the code that produced the *latest* records.
+        """
+        fingerprint = None
+        for rec in self.records():
+            if rec["event"] == "meta" and isinstance(
+                    rec.get("fingerprint"), dict):
+                fingerprint = rec["fingerprint"]
+        return fingerprint
 
     def completed_keys(self) -> set[str]:
         """Keys whose most recent terminal event is ``done``."""

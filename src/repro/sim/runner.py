@@ -246,6 +246,9 @@ class _Telemetry:
 
     def __init__(self, registry, obs) -> None:
         self._obs = obs
+        #: The attached registry (also consumed by the result-digest
+        #: path, which counts ``obs.digest_errors`` against it).
+        self.registry = registry
         self._attempts = self._retries = self._failures = None
         if registry is not None:
             self._attempts = registry.register(spec_for("runner.attempts"))
@@ -291,6 +294,13 @@ def run_tasks(
         raise ValueError("task keys must be unique within a batch")
 
     journal = Journal(policy.journal_path) if policy.journal_path else None
+    if journal is not None:
+        # Stamp the batch with its environment fingerprint (code
+        # version, git sha, python) so report/regression tooling can
+        # validate the provenance of every journalled digest.
+        from repro.obs.baseline import environment_fingerprint
+
+        journal.append("meta", "", fingerprint=environment_fingerprint())
     batch = BatchResult()
     todo: list[Task] = []
     if policy.resume and journal is not None:
@@ -320,13 +330,17 @@ def _record_success(
     result: Any,
     attempt: int,
     elapsed_s: float,
+    telem: Optional["_Telemetry"] = None,
 ) -> None:
     batch.results[task.key] = result
     if journal is not None:
         journal.store_result(task.key, result)
         # RunResult-shaped outcomes enrich the done record with a compact
         # metric digest (rdc.hit, link.bytes, ...) for journal greps.
-        metrics = summarize_result(result)
+        # Digest failures are counted (obs.digest_errors) not swallowed.
+        metrics = summarize_result(
+            result, registry=telem.registry if telem is not None else None
+        )
         extra = {"metrics": metrics} if metrics is not None else {}
         journal.append(
             "done", task.key, attempt=attempt, elapsed_s=elapsed_s,
@@ -394,7 +408,7 @@ def _run_inline(
             else:
                 _record_success(
                     batch, journal, task, result, attempt,
-                    time.perf_counter() - started,
+                    time.perf_counter() - started, telem,
                 )
                 break
 
@@ -546,6 +560,7 @@ def _run_isolated(
                             batch, journal, entry.task, result,
                             entry.attempt,
                             time.perf_counter() - entry.first_started,
+                            telem,
                         )
                 else:
                     _, exc_type, msg, tb = message
