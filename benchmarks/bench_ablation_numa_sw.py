@@ -12,9 +12,7 @@ leaves a ~49% gap.  This bench isolates each mechanism:
 
 from repro.analysis.report import format_table
 from repro.config import (
-    PLACEMENT_FIRST_TOUCH,
     PLACEMENT_INTERLEAVED,
-    SCHEDULE_CONTIGUOUS,
     SCHEDULE_ROUND_ROBIN,
     baseline_config,
 )

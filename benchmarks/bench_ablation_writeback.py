@@ -9,7 +9,6 @@ from repro.analysis.report import format_table
 from repro.config import COHERENCE_SOFTWARE, WRITE_BACK, WRITE_THROUGH, carve_config
 from repro.perf.model import geometric_mean
 from repro.sim.driver import run_workload, time_of
-from repro.workloads import suite
 
 from _common import run_once, save_result, show
 

@@ -10,7 +10,6 @@ of the loss while leaving well-behaved workloads untouched.
 from repro.analysis.report import format_table
 from repro.config import COHERENCE_HARDWARE, baseline_config
 from repro.sim.driver import run_workload, time_of
-from repro.workloads import suite
 
 from _common import run_once, save_result, show
 

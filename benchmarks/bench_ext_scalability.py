@@ -15,7 +15,6 @@ from repro.config import (
     baseline_config,
 )
 from repro.sim.driver import run_workload, time_of
-from repro.workloads import suite
 
 from _common import run_once, save_result, show
 

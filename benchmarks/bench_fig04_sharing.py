@@ -36,9 +36,9 @@ def test_fig04_sharing_distribution(benchmark):
             [
                 abbr,
                 f"{p.private:.2f}", f"{p.ro_shared:.2f}", f"{p.rw_shared:.2f}",
-                f"{l.private:.2f}", f"{l.ro_shared:.2f}", f"{l.rw_shared:.2f}",
+                f"{ln.private:.2f}", f"{ln.ro_shared:.2f}", f"{ln.rw_shared:.2f}",
             ]
-            for abbr, p, l in rows
+            for abbr, p, ln in rows
         ],
         title="Fig. 4 — access distribution by sharing class",
     )
@@ -46,7 +46,7 @@ def test_fig04_sharing_distribution(benchmark):
     save_result("fig04_sharing", table)
 
     page_rw = [p.rw_shared for _, p, _ in rows]
-    line_rw = [l.rw_shared for _, _, l in rows]
+    line_rw = [ln.rw_shared for _, _, ln in rows]
     avg_page_rw = sum(page_rw) / len(page_rw)
     avg_line_rw = sum(line_rw) / len(line_rw)
 
@@ -56,5 +56,5 @@ def test_fig04_sharing_distribution(benchmark):
     assert avg_line_rw < 0.5 * avg_page_rw
 
     # RandAccess is truly read-write shared even at line granularity.
-    rand_line = dict((a, l) for a, _, l in rows)["RandAccess"]
+    rand_line = dict((a, ln) for a, _, ln in rows)["RandAccess"]
     assert rand_line.rw_shared > 0.5

@@ -36,8 +36,6 @@ import sys
 import time
 from pathlib import Path
 
-from _common import save_bench_json
-
 from repro.config import (
     COHERENCE_HARDWARE,
     COHERENCE_SOFTWARE,
@@ -48,6 +46,8 @@ from repro.config import (
 from repro.numa.system import ENGINE_REFERENCE, ENGINE_VECTORIZED, MultiGpuSystem
 from repro.workloads.base import generate_trace
 from repro.workloads.suite import get
+
+from _common import save_bench_json
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_hotpath.json"

@@ -13,6 +13,7 @@ Exposes the library's common operations without writing Python:
     python -m repro baseline record           # commit run records
     python -m repro baseline compare          # two-tier regression gate
     python -m repro report                    # markdown/HTML dashboard
+    python -m repro lint                      # determinism/invariant lint
 
 ``run``, ``suite`` and ``trace`` all accept ``--metrics-out PATH`` to
 dump the metric registry (see ``docs/metrics.md``) as JSON; ``trace``
@@ -22,8 +23,8 @@ store, the regression gate's two tiers, and the report layout are
 documented in ``docs/regression.md``.
 
 Exit status: 0 on success, 1 when a batch finished with failed points
-(or a baseline comparison found a regression), 2 on an invalid
-configuration or a missing baseline.
+(or a baseline comparison found a regression, or ``lint`` found new
+findings), 2 on an invalid configuration or a missing baseline.
 """
 
 from __future__ import annotations
@@ -36,13 +37,13 @@ from repro.analysis.bottleneck import analyze, render
 from repro.analysis.report import format_table
 from repro.analysis.sharing import profile_sharing
 from repro.config import ConfigError
+from repro.numa.system import ENGINE_REFERENCE, ENGINE_VECTORIZED
 from repro.obs import Observability, default_registry
 from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
     write_metrics_json,
 )
-from repro.numa.system import ENGINE_REFERENCE, ENGINE_VECTORIZED
 from repro.sim import cache as simcache
 from repro.sim import experiments as E
 from repro.sim.driver import run_workload, time_of
@@ -360,6 +361,42 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Run the determinism/invariant linter (docs/lint.md)."""
+    from pathlib import Path
+
+    from repro.lint import LintConfigError, run_lint, save_baseline
+
+    baseline = args.baseline
+    if baseline is None and not args.update_baseline:
+        default = Path(args.root) / "lint-baseline.json"
+        if default.exists():
+            baseline = str(default)
+    try:
+        result = run_lint(
+            args.path,
+            select=args.select,
+            ignore=args.ignore,
+            baseline_path=baseline,
+            repo_root=args.root,
+            ver_base=args.ver_base,
+        )
+    except LintConfigError as exc:
+        print(f"error: invalid lint configuration: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        target = args.baseline or str(
+            Path(args.root) / "lint-baseline.json"
+        )
+        n = save_baseline(target, result.findings)
+        print(f"baseline written to {target} "
+              f"({n} grandfathered finding key(s))")
+        return 0
+    print(result.render(args.format))
+    return result.exit_code
+
+
 def _cmd_cache(args) -> int:
     if args.clear:
         n = simcache.clear()
@@ -507,6 +544,39 @@ def build_parser() -> argparse.ArgumentParser:
     base_p.add_argument("--report", default=None, metavar="PATH",
                         help="write the comparison as markdown (compare)")
     base_p.set_defaults(fn=_cmd_baseline)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="determinism & invariant lint over src/repro "
+             "(docs/lint.md)",
+    )
+    lint_p.add_argument("path", nargs="?", default="src/repro",
+                        help="scan root (default: src/repro)")
+    lint_p.add_argument("--root", default=".", metavar="DIR",
+                        help="repository root: default baseline "
+                             "location and VER001 git anchor "
+                             "(default: cwd)")
+    lint_p.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="output format (default: text)")
+    lint_p.add_argument("--baseline", default=None, metavar="PATH",
+                        help="grandfathered-findings store (default: "
+                             "<root>/lint-baseline.json when present)")
+    lint_p.add_argument("--update-baseline", action="store_true",
+                        help="record current findings as the baseline "
+                             "and exit 0")
+    lint_p.add_argument("--select", nargs="+", default=None,
+                        metavar="ID",
+                        help="run only these rule ids (VER001 is "
+                             "CI-only and must be selected explicitly)")
+    lint_p.add_argument("--ignore", nargs="+", default=None,
+                        metavar="ID",
+                        help="skip these rule ids")
+    lint_p.add_argument("--ver-base", default="origin/main",
+                        metavar="REF",
+                        help="merge-base ref for VER001 "
+                             "(default: origin/main)")
+    lint_p.set_defaults(fn=_cmd_lint)
 
     report_p = sub.add_parser(
         "report",

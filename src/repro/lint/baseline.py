@@ -1,0 +1,106 @@
+"""The committed lint baseline (``lint-baseline.json``).
+
+A baseline grandfathers known findings so the linter can gate *new*
+problems immediately while existing ones are burned down.  The format
+is a multiset of finding keys — ``(rule, path, message)`` with a count
+— deliberately excluding line numbers so unrelated edits above a
+grandfathered finding don't un-grandfather it.
+
+Round trip: ``python -m repro lint --update-baseline`` records today's
+findings; a later plain run is then clean until a *new* finding
+appears.  The committed baseline for this repository ships empty: every
+rule either passes or carries an explicit inline ``# lint: disable``
+with a reason.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.lint.findings import Finding, LintConfigError
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Union[str, Path]) -> Counter:
+    """Finding-key multiset from a baseline file.
+
+    Raises :class:`LintConfigError` (CLI exit 2) on unreadable or
+    structurally malformed files — a silently ignored baseline would
+    turn the gate off.
+    """
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintConfigError(f"cannot read baseline {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise LintConfigError(f"baseline {path} is not valid JSON: {exc}")
+    if not isinstance(doc, dict) or "findings" not in doc:
+        raise LintConfigError(
+            f"baseline {path} is malformed: expected an object with a "
+            f"'findings' list"
+        )
+    version = doc.get("version")
+    if version != BASELINE_VERSION:
+        raise LintConfigError(
+            f"baseline {path} has version {version!r}, expected "
+            f"{BASELINE_VERSION}"
+        )
+    keys: Counter = Counter()
+    for i, entry in enumerate(doc["findings"]):
+        if not isinstance(entry, dict) or not all(
+                isinstance(entry.get(k), str)
+                for k in ("rule", "path", "message")):
+            raise LintConfigError(
+                f"baseline {path}: entry {i} must carry string "
+                f"'rule', 'path' and 'message' fields"
+            )
+        count = entry.get("count", 1)
+        if not isinstance(count, int) or count < 1:
+            raise LintConfigError(
+                f"baseline {path}: entry {i} has invalid count "
+                f"{count!r}"
+            )
+        keys[(entry["rule"], entry["path"], entry["message"])] += count
+    return keys
+
+
+def save_baseline(path: Union[str, Path],
+                  findings: Iterable[Finding]) -> int:
+    """Write the unsuppressed findings as the new baseline; returns
+    the number of grandfathered keys."""
+    keys = Counter(f.key for f in findings if not f.suppressed)
+    entries = [
+        {"rule": rule, "path": rel, "message": message, "count": count}
+        for (rule, rel, message), count in sorted(keys.items())
+    ]
+    doc = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)
+
+
+def apply_baseline(findings: Iterable[Finding],
+                   baseline: Counter) -> None:
+    """Mark findings covered by the baseline multiset (in file order)."""
+    remaining = Counter(baseline)
+    for finding in findings:
+        if finding.suppressed:
+            continue
+        if remaining[finding.key] > 0:
+            remaining[finding.key] -= 1
+            finding.baselined = True
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "apply_baseline",
+    "load_baseline",
+    "save_baseline",
+]

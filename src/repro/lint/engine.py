@@ -1,0 +1,170 @@
+"""Lint driver: file collection, rule dispatch, selection, reporting.
+
+:func:`run_lint` is the one entry point the CLI (and tests) call.  It
+walks the scan root for ``*.py`` files, parses each once, runs every
+selected AST rule, applies ``# lint: disable`` comments and the
+committed baseline, optionally runs the repo-level VER001 rule, and
+returns a :class:`LintResult` whose :attr:`~LintResult.exit_code`
+follows the repository convention: 0 clean, 1 new findings, 2 bad
+configuration (unknown rule id, malformed baseline, bad git ref).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.lint.baseline import apply_baseline, load_baseline
+from repro.lint.findings import (
+    Finding,
+    LintConfigError,
+    apply_suppressions,
+    parse_suppressions,
+)
+from repro.lint.rules import DEFAULT_RULES, ModuleContext
+from repro.lint.versioning import CodeVersionRule
+
+#: Every known rule id (AST rules plus the repo-level VER001).
+ALL_RULE_IDS = tuple(
+    [cls.id for cls in DEFAULT_RULES] + [CodeVersionRule.id]
+)
+#: Rules run when no ``--select`` is given (VER001 is CI-only).
+DEFAULT_RULE_IDS = tuple(cls.id for cls in DEFAULT_RULES)
+
+
+class LintResult:
+    """All findings of one run plus the derived exit code."""
+
+    def __init__(self, findings: Sequence[Finding],
+                 selected: Sequence[str]) -> None:
+        self.findings = list(findings)
+        self.selected = tuple(selected)
+
+    @property
+    def new(self) -> list:
+        return [f for f in self.findings if f.is_new]
+
+    @property
+    def suppressed(self) -> list:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined(self) -> list:
+        return [f for f in self.findings if f.baselined]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "rules": list(self.selected),
+            "findings": [f.to_json() for f in self.findings],
+            "summary": {
+                "total": len(self.findings),
+                "new": len(self.new),
+                "suppressed": len(self.suppressed),
+                "baselined": len(self.baselined),
+            },
+        }
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.new]
+        summary = (
+            f"{len(self.new)} new finding(s), "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.suppressed)} suppressed "
+            f"({len(self.selected)} rule(s))"
+        )
+        if not self.new:
+            summary = "lint ok: " + summary
+        return "\n".join(lines + [summary])
+
+    def render(self, fmt: str) -> str:
+        if fmt == "json":
+            return json.dumps(self.to_json(), indent=2, sort_keys=True)
+        return self.render_text()
+
+
+def resolve_selection(select: Optional[Iterable[str]],
+                      ignore: Optional[Iterable[str]]) -> tuple:
+    """Validated, ordered rule-id selection (exit 2 on unknown ids)."""
+    known = set(ALL_RULE_IDS)
+    for ids, flag in ((select, "--select"), (ignore, "--ignore")):
+        for rid in ids or ():
+            if rid not in known:
+                raise LintConfigError(
+                    f"{flag}: unknown rule id {rid!r} "
+                    f"(known: {', '.join(ALL_RULE_IDS)})"
+                )
+    chosen = list(select) if select else list(DEFAULT_RULE_IDS)
+    ignored = set(ignore or ())
+    return tuple(rid for rid in chosen if rid not in ignored)
+
+
+def python_files(scan_root: Path) -> list:
+    """Sorted ``*.py`` files under *scan_root* (skipping caches)."""
+    return sorted(
+        p for p in scan_root.rglob("*.py")
+        if "__pycache__" not in p.parts
+    )
+
+
+def run_lint(
+    scan_root,
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    baseline_path=None,
+    repo_root=None,
+    ver_base: str = "origin/main",
+) -> LintResult:
+    """Run the selected rules over *scan_root* and return the result.
+
+    ``baseline_path`` (when given and existing) grandfathers known
+    findings; a missing *explicitly requested* baseline is a
+    configuration error.  ``repo_root`` anchors the VER001 git diff
+    (defaults to *scan_root*'s repository working directory).
+    """
+    scan_root = Path(scan_root)
+    if not scan_root.is_dir():
+        raise LintConfigError(f"scan root {scan_root} is not a directory")
+    selected = resolve_selection(select, ignore)
+
+    ast_rules = [cls() for cls in DEFAULT_RULES if cls.id in selected]
+    findings: list = []
+    for path in python_files(scan_root):
+        source = path.read_text(encoding="utf-8")
+        rel = path.relative_to(scan_root).as_posix()
+        try:
+            ctx = ModuleContext(rel, source)
+        except SyntaxError as exc:
+            raise LintConfigError(f"cannot parse {path}: {exc}")
+        module_findings: list = []
+        for rule in ast_rules:
+            module_findings.extend(rule.check_module(ctx))
+        apply_suppressions(module_findings, parse_suppressions(source))
+        findings.extend(module_findings)
+
+    if CodeVersionRule.id in selected:
+        rule = CodeVersionRule(base_ref=ver_base)
+        findings.extend(rule.check_repo(
+            Path(repo_root) if repo_root is not None else Path.cwd()
+        ))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    if baseline_path is not None:
+        apply_baseline(findings, load_baseline(baseline_path))
+    return LintResult(findings, selected)
+
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "DEFAULT_RULE_IDS",
+    "LintResult",
+    "python_files",
+    "resolve_selection",
+    "run_lint",
+]

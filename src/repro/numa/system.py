@@ -48,9 +48,9 @@ from repro.config import (
     WRITE_BACK,
     SystemConfig,
 )
-from repro.core.rdc import DIRTY_MAP_REGION_LINES
 from repro.core.carve import CarveController
 from repro.core.coherence import make_protocol
+from repro.core.rdc import DIRTY_MAP_REGION_LINES
 from repro.gpu.cta import KernelTrace, WorkloadTrace
 from repro.gpu.scheduler import schedule_kernel
 from repro.memory.address import AddressMap

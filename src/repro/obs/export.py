@@ -95,6 +95,10 @@ def build_chrome_trace(result, config, obs) -> dict:
                     "accesses": ks.gpus[gpu].accesses,
                     "rdc.hit": ks.gpus[gpu].rdc_hits,
                     "mem.remote.read": ks.gpus[gpu].remote_reads,
+                    # Derived per-GPU egress total (sum of
+                    # link.bytes{src,dst} over dst) — a Perfetto
+                    # annotation, not a registry metric.
+                    # lint: disable=OBS001
                     "link.out_bytes": ks.link_out_bytes(gpu),
                 },
             })

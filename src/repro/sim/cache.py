@@ -24,8 +24,10 @@ from repro.perf.stats import RunResult
 from repro.workloads.base import WorkloadSpec
 
 #: Bump on any change that alters simulation results (or the shape of
-#: the pickled RunResult — v10: per-kernel link_scale fault epochs).
-CODE_VERSION = 10
+#: the pickled RunResult) — and, per the VER001 lint gate, on any
+#: change under the result-affecting packages, however innocuous
+#: (v11: import reordering in numa/system.py for the style gate).
+CODE_VERSION = 11
 
 log = logging.getLogger(__name__)
 

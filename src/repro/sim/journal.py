@@ -59,6 +59,9 @@ class Journal:
 
     def append(self, event: str, key: str, **fields: Any) -> None:
         """Append one event record (flushed so crashes lose at most it)."""
+        # Journal timestamps are observability metadata; nothing
+        # deterministic is derived from them.
+        # lint: disable=DET001
         record = {"event": event, "key": key, "ts": time.time(), **fields}
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as f:

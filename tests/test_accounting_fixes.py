@@ -20,7 +20,6 @@ import pickle
 
 import pytest
 
-from tests.conftest import make_kernel, make_trace, small_config, tiny_rdc_config
 from repro.config import (
     COHERENCE_NONE,
     COHERENCE_SOFTWARE,
@@ -29,6 +28,8 @@ from repro.config import (
     WRITE_BACK,
 )
 from repro.numa.system import ENGINE_REFERENCE, ENGINE_VECTORIZED, MultiGpuSystem
+
+from tests.conftest import make_kernel, make_trace, small_config, tiny_rdc_config
 
 ENGINES = [ENGINE_VECTORIZED, ENGINE_REFERENCE]
 

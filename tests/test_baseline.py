@@ -11,6 +11,7 @@ from pathlib import Path
 import pytest
 
 from repro.numa.system import ENGINE_VECTORIZED, MultiGpuSystem
+from repro.obs import summary
 from repro.obs.baseline import (
     DETERMINISTIC_KEYS,
     RECORD_KIND,
@@ -23,7 +24,6 @@ from repro.obs.baseline import (
     validate_record,
 )
 from repro.obs.metrics import default_registry
-from repro.obs import summary
 from repro.workloads.base import generate_trace
 from repro.workloads.suite import get
 

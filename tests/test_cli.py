@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cli import build_parser, main
-from repro.config import ConfigError
 from repro.sim import experiments as E
 from repro.sim.runner import KIND_CRASH, FailureReport
 

@@ -14,7 +14,6 @@ import dataclasses
 
 import pytest
 
-from tests.conftest import small_config, tiny_rdc_config
 from repro.config import (
     COHERENCE_HARDWARE,
     COHERENCE_SOFTWARE,
@@ -23,6 +22,8 @@ from repro.config import (
 from repro.numa.system import ENGINE_REFERENCE, MultiGpuSystem
 from repro.workloads.base import generate_trace
 from repro.workloads.suite import get
+
+from tests.conftest import small_config, tiny_rdc_config
 
 WORKLOADS = ["Lulesh", "Euler", "SSSP"]
 

@@ -1,0 +1,108 @@
+"""VER001 — CODE_VERSION bump gate, exercised on throwaway git repos.
+
+Builds a tiny repository with the result-affecting layout
+(``src/repro/core/...`` + ``src/repro/sim/cache.py``), then simulates
+the PR diff VER001 gates in CI: a core change without a
+``CODE_VERSION`` bump must produce a finding; the same change plus the
+bump must pass; a bogus base ref must be a configuration error
+(exit 2), never a silent pass.
+"""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.lint.engine import run_lint
+from repro.lint.findings import LintConfigError
+from repro.lint.versioning import CodeVersionRule
+
+pytestmark = pytest.mark.skipif(
+    shutil.which("git") is None, reason="git not available"
+)
+
+BASE_REF = "lint-base"
+
+
+def git(repo, *argv):
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+        cwd=repo, check=True, capture_output=True,
+    )
+
+
+@pytest.fixture
+def repo(tmp_path):
+    """A git repo at the base revision, checked out on a work branch."""
+    git(tmp_path, "init", "-q", "-b", BASE_REF)
+    core = tmp_path / "src" / "repro" / "core"
+    sim = tmp_path / "src" / "repro" / "sim"
+    core.mkdir(parents=True)
+    sim.mkdir(parents=True)
+    (core / "imst.py").write_text("X = 1\n")
+    (sim / "cache.py").write_text("CODE_VERSION = 10\n")
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-qm", "base")
+    git(tmp_path, "checkout", "-qb", "work")
+    return tmp_path
+
+
+def lint(repo):
+    return run_lint(
+        repo / "src" / "repro",
+        select=["VER001"],
+        repo_root=repo,
+        ver_base=BASE_REF,
+    )
+
+
+class TestCodeVersionGate:
+    def test_clean_when_nothing_changed(self, repo):
+        result = lint(repo)
+        assert result.exit_code == 0
+        assert result.findings == []
+
+    def test_fires_on_core_change_without_bump(self, repo):
+        (repo / "src" / "repro" / "core" / "imst.py").write_text("X = 2\n")
+        git(repo, "commit", "-qam", "core change")
+        result = lint(repo)
+        assert result.exit_code == 1
+        (finding,) = result.findings
+        assert finding.rule == "VER001"
+        assert "src/repro/core/imst.py" in finding.message
+        assert "CODE_VERSION" in finding.message
+
+    def test_fires_on_uncommitted_core_change(self, repo):
+        # The worktree diff counts too, not just committed changes.
+        (repo / "src" / "repro" / "core" / "imst.py").write_text("X = 2\n")
+        assert lint(repo).exit_code == 1
+
+    def test_clean_with_version_bump(self, repo):
+        (repo / "src" / "repro" / "core" / "imst.py").write_text("X = 2\n")
+        (repo / "src" / "repro" / "sim" / "cache.py").write_text(
+            "CODE_VERSION = 11\n"
+        )
+        git(repo, "commit", "-qam", "core change + bump")
+        assert lint(repo).exit_code == 0
+
+    def test_clean_on_non_result_affecting_change(self, repo):
+        tools = repo / "tools"
+        tools.mkdir()
+        (tools / "helper.py").write_text("Y = 1\n")
+        git(repo, "add", "-A")
+        git(repo, "commit", "-qam", "tooling only")
+        assert lint(repo).exit_code == 0
+
+    def test_bad_base_ref_is_config_error(self, repo):
+        with pytest.raises(LintConfigError):
+            run_lint(
+                repo / "src" / "repro",
+                select=["VER001"],
+                repo_root=repo,
+                ver_base="no-such-ref",
+            )
+
+    def test_rule_is_not_in_the_default_selection(self):
+        from repro.lint.engine import DEFAULT_RULE_IDS
+
+        assert CodeVersionRule.id not in DEFAULT_RULE_IDS

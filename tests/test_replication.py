@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis.sharing import profile_sharing
 from repro.config import REPLICATE_ALL, REPLICATE_NONE, REPLICATE_READ_ONLY
 from repro.numa.pagetable import PageTable
 from repro.numa.replication import (
@@ -9,8 +10,8 @@ from repro.numa.replication import (
     build_replication_plan,
     replica_capacity_bytes,
 )
+
 from tests.conftest import make_kernel, make_trace, small_config
-from repro.analysis.sharing import profile_sharing
 
 
 def sharing_profile():

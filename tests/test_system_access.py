@@ -4,8 +4,6 @@ These tests drive single accesses through a real system and assert on the
 traffic each one generates — the core contract every figure rests on.
 """
 
-import pytest
-
 from repro.config import (
     COHERENCE_NONE,
     LINE_BYTES,

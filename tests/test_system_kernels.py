@@ -1,7 +1,5 @@
 """Kernel-level execution: boundaries, stats aggregation, streams."""
 
-import numpy as np
-
 from repro.config import COHERENCE_HARDWARE, COHERENCE_SOFTWARE, WRITE_BACK
 from repro.numa.system import MultiGpuSystem
 from tests.conftest import make_kernel, make_trace, small_config, tiny_rdc_config
@@ -122,10 +120,11 @@ class TestRunTrace:
     def test_inter_kernel_reuse_visible_only_with_hw_coherence(self):
         """The crux of Fig. 11: SWC refetches, HWC retains."""
         lines = list(range(0, 64))
-        shared_kernels = lambda: [
-            kernel_all_gpus([lines, lines, [], []], kernel_id=i)
-            for i in range(3)
-        ]
+        def shared_kernels():
+            return [
+                kernel_all_gpus([lines, lines, [], []], kernel_id=i)
+                for i in range(3)
+            ]
         swc = MultiGpuSystem(tiny_rdc_config(coherence=COHERENCE_SOFTWARE))
         hwc = MultiGpuSystem(tiny_rdc_config(coherence=COHERENCE_HARDWARE))
         r_swc = swc.run(make_trace(shared_kernels()))

@@ -16,7 +16,11 @@ Two families of checks over the repository's Markdown:
    ``docs/metrics.md``.
 
 Metric names are stable contracts (see docs/metrics.md); this checker
-is what enforces the contract in both directions.
+is what enforces the contract in both directions.  Token resolution is
+shared with the OBS001 lint rule via
+:class:`repro.lint.resolver.MetricNameResolver`, so Markdown docs and
+Python string literals are held to the same definition of "known
+metric".
 
 Usage:  python tools/check_docs.py [repo_root]
 Exit status 0 when clean, 1 with one line per problem otherwise.
@@ -31,6 +35,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.lint.resolver import MetricNameResolver  # noqa: E402
 from repro.obs.events import EVENT_KINDS  # noqa: E402
 from repro.obs.metrics import SPECS  # noqa: E402
 
@@ -39,8 +44,9 @@ SKIP_DIRS = {".git", ".simcache", ".repro-journal", "results",
              "node_modules", "__pycache__"}
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-_TOKEN_RE = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+"
-                       r"(?:\{[a-z_][a-z_,]*\})?)`")
+
+#: Shared resolver instance (the contract is fixed for the process).
+_RESOLVER = MetricNameResolver(SPECS, EVENT_KINDS)
 
 
 def markdown_files(root: Path) -> list[Path]:
@@ -73,40 +79,13 @@ def check_links(md: Path, root: Path) -> list[str]:
     return problems
 
 
-def _known_names() -> tuple[dict[str, tuple[str, ...]], set[str]]:
-    """(metric name -> labels, valid prefixes) from the live registry."""
-    metrics = {spec.name: spec.labels for spec in SPECS}
-    prefixes = {name.split(".", 1)[0] for name in metrics}
-    prefixes |= {kind.split(".", 1)[0] for kind in EVENT_KINDS if "." in kind}
-    return metrics, prefixes
-
-
 def check_metric_tokens(md: Path, root: Path) -> list[str]:
     """Backticked metric-looking tokens that don't resolve, per file."""
-    metrics, prefixes = _known_names()
-    problems = []
     text = md.read_text(encoding="utf-8")
-    for match in _TOKEN_RE.finditer(text):
-        token = match.group(1)
-        name, _, labels_part = token.partition("{")
-        if name.split(".", 1)[0] not in prefixes:
-            continue  # a module path or similar, not a metric
-        if name not in metrics:
-            if name in EVENT_KINDS and not labels_part:
-                continue
-            problems.append(
-                f"{md.relative_to(root)}: unknown metric `{token}` "
-                f"(not in repro.obs registry or event kinds)"
-            )
-            continue
-        if labels_part:
-            rendered = tuple(labels_part.rstrip("}").split(","))
-            if rendered != metrics[name]:
-                problems.append(
-                    f"{md.relative_to(root)}: `{token}` labels "
-                    f"{rendered} != spec labels {metrics[name]}"
-                )
-    return problems
+    return [
+        f"{md.relative_to(root)}: {problem}"
+        for _token, problem in _RESOLVER.markdown_problems(text)
+    ]
 
 
 def check_reference_complete(root: Path) -> list[str]:
