@@ -1,0 +1,234 @@
+"""Scale-out benchmark: persistent worker pool vs. serial sweep.
+
+Runs the same re-simulation sweep twice through
+:func:`repro.sim.sweep.run_sweep` — once serially (``jobs=1``, the
+bit-identical in-process path) and once on the persistent worker pool
+(``--jobs N``) — and records wall time, speedup, and parallel
+efficiency to ``BENCH_scaleout.json`` at the repository root.  The
+payload is stamped with a provenance block (git sha, CODE_VERSION,
+timestamp) and carries a run-over-run trend history — see
+``_common.save_bench_json`` and ``docs/regression.md``.
+
+Correctness is gated harder than throughput: every point's
+deterministic traffic digest (``summarize_result``) and modelled time
+must be **bit-identical** between the serial and pooled runs, and the
+``done`` records of both journals must carry identical digests.  A
+divergence fails the bench regardless of speed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scaleout.py          # full
+    PYTHONPATH=src python benchmarks/bench_scaleout.py --smoke  # CI gate
+    PYTHONPATH=src python benchmarks/bench_scaleout.py --pin    # NUMA-pin
+
+The full run gates parallel efficiency at ``--min-efficiency`` (default
+0.7: a 100-point sweep at ``--jobs N`` must reach at least ``0.7 * N``
+the serial throughput, with N capped at the machine's core count).  The
+smoke run checks digest parity only — CI wall clocks are too noisy to
+gate on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config import baseline_config
+from repro.obs.summary import summarize_result
+from repro.sim.pool import numa_nodes
+from repro.sim.runner import RunnerPolicy
+from repro.sim.sweep import run_sweep
+
+from _common import save_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_scaleout.json"
+
+WORKLOADS = ("Lulesh", "Euler")
+
+GB = 2**30
+
+
+def _values(n: int) -> list[float]:
+    """*n* distinct RDC sizes (bytes): distinct configs, comparable cost."""
+    return [float(GB // 2 + i * (GB // 64)) for i in range(n)]
+
+
+def _factory(v: float):
+    return baseline_config().with_rdc(int(v))
+
+
+def _run_pass(values, jobs: int, pin: bool, journal: Path):
+    """One sweep pass under the given policy; returns (sweep, seconds)."""
+    policy = RunnerPolicy(jobs=jobs, pin=pin, journal_path=journal)
+    t0 = time.perf_counter()
+    sweep = run_sweep(
+        "scaleout", values, _factory, WORKLOADS,
+        use_cache=False, runner=policy,
+    )
+    elapsed = time.perf_counter() - t0
+    if not sweep.ok:
+        raise AssertionError(
+            f"scale-out sweep (jobs={jobs}) had failed points:\n"
+            f"{sweep.failure_summary()}"
+        )
+    return sweep, elapsed
+
+
+def _digests(sweep) -> dict:
+    """Deterministic digest + modelled time per point, for parity checks."""
+    out = {}
+    for cell, point in sweep.points.items():
+        value, workload = cell
+        out[f"{value:g}/{workload}"] = {
+            "metrics": summarize_result(point.result),
+            "time_s": point.time_s,
+        }
+    return out
+
+
+def _journal_digests(journal: Path) -> dict:
+    """key -> metrics digest of every ``done`` record in a journal."""
+    out = {}
+    with journal.open(encoding="utf-8") as fh:
+        for line in fh:
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if rec.get("event") == "done":
+                out[rec["key"]] = rec.get("metrics")
+    return out
+
+
+def _check_identical(serial, pooled, j_serial: Path, j_pooled: Path) -> None:
+    d_serial, d_pooled = _digests(serial), _digests(pooled)
+    if d_serial != d_pooled:
+        diverged = sorted(
+            k for k in d_serial
+            if d_serial[k] != d_pooled.get(k)
+        )
+        raise AssertionError(
+            f"pooled sweep results diverge from serial on "
+            f"{len(diverged)} point(s): {diverged[:5]}"
+        )
+    js, jp = _journal_digests(j_serial), _journal_digests(j_pooled)
+    if js != jp:
+        raise AssertionError(
+            "journal 'done' digests diverge between serial and pooled runs"
+        )
+
+
+def run_bench(points: int, jobs: int, pin: bool) -> dict:
+    if points % len(WORKLOADS):
+        raise ValueError(f"points must be a multiple of {len(WORKLOADS)}")
+    values = _values(points // len(WORKLOADS))
+    cpus = os.cpu_count() or 1
+    with tempfile.TemporaryDirectory(prefix="repro-scaleout-") as tmp:
+        tmp_dir = Path(tmp)
+        serial, t_serial = _run_pass(
+            values, 1, False, tmp_dir / "serial.jsonl"
+        )
+        pooled, t_pool = _run_pass(
+            values, jobs, pin, tmp_dir / "pooled.jsonl"
+        )
+        _check_identical(
+            serial, pooled,
+            tmp_dir / "serial.jsonl", tmp_dir / "pooled.jsonl",
+        )
+    speedup = t_serial / t_pool
+    # Speedup can only reach the cores actually present; efficiency is
+    # judged against min(jobs, cpus) so oversubscribed runs (CI boxes,
+    # laptops) are not graded against parallelism the hardware lacks.
+    efficiency = speedup / min(jobs, cpus)
+    payload = {
+        "bench": "scaleout",
+        "unit": "points_per_second",
+        "points": points,
+        "jobs": jobs,
+        "cpus": cpus,
+        "numa_nodes": len(numa_nodes()),
+        "pin": pin,
+        "workloads": list(WORKLOADS),
+        "serial_s": round(t_serial, 3),
+        "pool_s": round(t_pool, 3),
+        "serial_points_per_s": round(points / t_serial, 3),
+        "pool_points_per_s": round(points / t_pool, 3),
+        "speedup": round(speedup, 3),
+        "efficiency": round(efficiency, 3),
+        "identical": True,
+    }
+    print(
+        f"{points} points: serial {t_serial:.2f}s "
+        f"({payload['serial_points_per_s']:.2f} pt/s), "
+        f"jobs={jobs}{' pinned' if pin else ''} {t_pool:.2f}s "
+        f"({payload['pool_points_per_s']:.2f} pt/s) -> "
+        f"x{speedup:.2f} speedup, {efficiency:.0%} efficiency "
+        f"on {cpus} core(s) / {payload['numa_nodes']} NUMA node(s); "
+        f"results bit-identical"
+    )
+    return payload
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sweep at --jobs 2: a fast CI pool-parity gate "
+        "(digest identity only, no efficiency gate, does not write "
+        "the JSON)",
+    )
+    ap.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="pool size (default: the machine's core count, minimum 2 "
+        "so the pool path is always exercised)",
+    )
+    ap.add_argument(
+        "--points", type=int, default=None, metavar="P",
+        help="sweep points (default: 100 full / 12 smoke)",
+    )
+    ap.add_argument(
+        "--pin", action="store_true",
+        help="pin pool workers across NUMA nodes (see docs/runner.md)",
+    )
+    ap.add_argument(
+        "--min-efficiency", type=float, default=0.7, metavar="FRACTION",
+        help="full-run gate: speedup / min(jobs, cpus) floor "
+        "(default 0.7)",
+    )
+    ap.add_argument(
+        "--output", type=Path, default=OUTPUT, help="result JSON path"
+    )
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        run_bench(
+            points=args.points or 12, jobs=args.jobs or 2, pin=args.pin
+        )
+        print("pool parity ok (smoke: not recorded)")
+        return 0
+
+    jobs = args.jobs or max(2, os.cpu_count() or 1)
+    payload = run_bench(points=args.points or 100, jobs=jobs, pin=args.pin)
+    save_bench_json(
+        args.output, payload, trend_keys=("speedup", "efficiency")
+    )
+    print(f"-> {args.output}")
+    if payload["efficiency"] < args.min_efficiency:
+        print(
+            f"FAIL: efficiency {payload['efficiency']:.0%} below the "
+            f"{args.min_efficiency:.0%} floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

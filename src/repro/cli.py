@@ -173,6 +173,7 @@ def _cmd_suite(args) -> int:
         keep_going=args.keep_going,
         journal_path=journal,
         resume=args.resume,
+        pin=args.pin,
     )
     rdc_bytes = int(args.rdc_gb * 2**30) if args.rdc_gb else 2 * 2**30
     registry = default_registry() if args.metrics_out else None
@@ -476,7 +477,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="subset of the suite (default: all)")
     suite_p.add_argument("--rdc-gb", type=float, default=None)
     suite_p.add_argument("--jobs", type=int, default=1, metavar="N",
-                         help="concurrent crash-isolated workers")
+                         help="persistent pool workers (1 = serial "
+                              "in-process)")
+    suite_p.add_argument("--pin", action="store_true",
+                         help="pin pool workers round-robin across NUMA "
+                              "nodes with per-worker CPU affinity "
+                              "(no-op where unsupported)")
     suite_p.add_argument("--timeout", type=float, default=None,
                          metavar="SECONDS",
                          help="per-point wall-clock budget")

@@ -130,6 +130,10 @@ SPECS: tuple = (
     MetricSpec("runner.failures", KIND_COUNTER, "failures", ("kind",),
                "Task attempts that failed, by failure kind "
                "(exception/timeout/crash).", "repro infra"),
+    # -- worker pool -----------------------------------------------------
+    MetricSpec("pool.tasks", KIND_COUNTER, "tasks", ("worker",),
+               "Tasks dispatched to each persistent pool worker slot "
+               "(counts across respawns).", "repro infra"),
     # -- tracer self-accounting ------------------------------------------
     MetricSpec("trace.dropped", KIND_COUNTER, "events", (),
                "Events evicted from the tracer ring buffer (capacity "
@@ -150,6 +154,12 @@ SPECS: tuple = (
     MetricSpec("fault.link_scale", KIND_GAUGE, "fraction", _LINK,
                "Effective bandwidth scale of each faulted link during the "
                "most recent fault epoch (1.0 = healthy).", "repro infra"),
+    MetricSpec("pool.workers", KIND_GAUGE, "processes", (),
+               "Worker-pool processes alive at the last scheduling step "
+               "(0 after shutdown).", "repro infra"),
+    MetricSpec("pool.queue_depth", KIND_GAUGE, "tasks", (),
+               "Tasks queued behind the pool (pending dispatch or "
+               "backing off) at the last scheduling step.", "repro infra"),
     # -- histograms ------------------------------------------------------
     MetricSpec("kernel.accesses", KIND_HISTOGRAM, "accesses", (),
                "Distribution of access counts across kernels.",

@@ -36,8 +36,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pickle
 import time
+import uuid
 from pathlib import Path
 from typing import Any, Optional, Union
 
@@ -69,13 +71,25 @@ class Journal:
             f.flush()
 
     def store_result(self, key: str, result: Any) -> None:
-        """Pickle a completed point's result for later resumption."""
+        """Pickle a completed point's result for later resumption.
+
+        Atomic via a *uniquely named* tmp file: two batches completing
+        the same key concurrently must never share a tmp path (a fixed
+        ``.tmp`` suffix lets writer B truncate the file writer A is
+        about to rename, or rename it out from under A entirely) —
+        same discipline as the sim-cache store.
+        """
         self.results_dir.mkdir(parents=True, exist_ok=True)
         target = self.results_dir / f"{_key_digest(key)}.pkl"
-        tmp = target.with_suffix(".tmp")
-        with tmp.open("wb") as f:
-            pickle.dump(result, f, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(target)
+        tmp = self.results_dir / (
+            f"{target.stem}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+        )
+        try:
+            with tmp.open("wb") as f:
+                pickle.dump(result, f, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(target)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     # ------------------------------------------------------------------
     # Reading

@@ -5,8 +5,8 @@ runs.  One pathological point — an OOM-killed worker, a hang, a corrupt
 cache entry — must not take hours of completed work with it.  This
 module runs a batch of independent tasks with:
 
-* **crash isolation** — each task runs in its own worker subprocess; a
-  segfault or OOM kill marks that task failed and the batch continues;
+* **crash isolation** — tasks run in worker subprocesses; a segfault or
+  OOM kill marks that task failed and the batch continues;
 * **wall-clock timeouts** — a stuck worker is killed and reported as a
   ``timeout`` failure instead of wedging the whole sweep;
 * **bounded retries** — transient failures are retried with exponential
@@ -25,19 +25,22 @@ exactly like a plain loop would, so results stay bit-identical to
 runner-less execution; subprocess isolation is engaged only when
 parallelism or a timeout is requested.
 
-Workers are plain ``multiprocessing`` processes (fork where available,
-spawn otherwise) with one process per attempt: there is no long-lived
-pool to poison, so a dying worker can never take unrelated tasks down
-with it.
+Isolated execution runs on the **persistent worker pool** of
+:mod:`repro.sim.pool`: ``jobs`` long-lived subprocesses amortize
+import/config cost across tasks, results come back over each worker's
+pipe (escalating to shared memory for large payloads), and a worker
+that dies or overruns its deadline only loses its own task — the pool
+respawns a replacement in its slot, so a dying worker can never take
+unrelated tasks down with it.  With ``pin=True`` the pool additionally
+places workers round-robin across NUMA nodes with per-worker CPU
+pinning (see ``docs/runner.md``).
 """
 
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
 import os
 import pickle
-import signal
 import time
 import traceback
 from collections import deque
@@ -48,27 +51,26 @@ from typing import Any, Callable, Optional, Sequence, Union
 from repro.obs.metrics import spec_for
 from repro.obs.summary import summarize_result
 from repro.sim.journal import Journal
+from repro.sim.pool import (
+    ERR,
+    FAULT_ENV as FAULT_ENV,  # re-export: the contract lives with the pool
+    FAULT_STATE_ENV as FAULT_STATE_ENV,
+    WorkerPool,
+    _maybe_inject_fault,
+    result_payload,
+)
 
 #: Failure kinds carried by :class:`FailureReport`.
 KIND_EXCEPTION = "exception"  # the task raised
 KIND_TIMEOUT = "timeout"      # the worker exceeded the wall-clock budget
 KIND_CRASH = "crash"          # the worker died without reporting back
 
-#: Fault-injection hook for exercising this harness itself (tests, CI
-#: drills).  Format ``"<mode>:<key-substring>"`` where mode is one of
-#: ``fail`` (raise), ``crash`` (SIGKILL self), ``hang`` (sleep forever),
-#: ``flaky`` (raise on the first attempt only, using a sentinel file
-#: under ``REPRO_INJECT_FAULT_STATE``).  Affects only tasks whose key
-#: contains the substring; an empty substring matches every task.
-FAULT_ENV = "REPRO_INJECT_FAULT"
-FAULT_STATE_ENV = "REPRO_INJECT_FAULT_STATE"
-
 #: Default location for journals (CI uploads this directory on failure).
 JOURNAL_DIR_ENV = "REPRO_JOURNAL_DIR"
 
-#: Parent poll period while workers run.  Small enough that sub-second
-#: timeouts are honoured, large enough not to busy-spin.
-_POLL_S = 0.02
+#: Upper bound on one event-wait while workers run; deadlines and
+#: backoff wake-ups shorten it, results interrupt it immediately.
+_MAX_WAIT_S = 0.5
 
 
 def default_journal_dir() -> Path:
@@ -115,6 +117,9 @@ class RunnerPolicy:
     journal_path: Optional[Union[str, Path]] = None
     #: Skip tasks whose key the journal records as completed.
     resume: bool = False
+    #: Pin pool workers round-robin across NUMA nodes with per-worker
+    #: CPU affinity (isolated path only; no-op where unsupported).
+    pin: bool = False
 
     def validate(self) -> None:
         if self.jobs <= 0:
@@ -204,34 +209,6 @@ class BatchResult:
 
 
 # ---------------------------------------------------------------------------
-# Fault injection (testing the harness itself)
-# ---------------------------------------------------------------------------
-
-def _maybe_inject_fault(key: str) -> None:
-    spec = os.environ.get(FAULT_ENV)
-    if not spec:
-        return
-    mode, _, match = spec.partition(":")
-    if match and match not in key:
-        return
-    if mode == "fail":
-        raise RuntimeError(f"injected failure for {key!r}")
-    if mode == "crash":
-        os.kill(os.getpid(), signal.SIGKILL)
-    if mode == "hang":
-        time.sleep(3600)
-    if mode == "flaky":
-        state_dir = Path(os.environ.get(FAULT_STATE_ENV, "."))
-        sentinel = state_dir / (
-            hashlib.sha256(key.encode()).hexdigest()[:24] + ".flaky"
-        )
-        if not sentinel.exists():
-            state_dir.mkdir(parents=True, exist_ok=True)
-            sentinel.touch()
-            raise RuntimeError(f"injected flaky failure for {key!r}")
-
-
-# ---------------------------------------------------------------------------
 # Batch execution
 # ---------------------------------------------------------------------------
 
@@ -239,9 +216,9 @@ class _Telemetry:
     """Optional metric/event sink for runner lifecycle happenings.
 
     Wraps a :class:`repro.obs.registry.MetricsRegistry` (``runner.*``
-    counters from the contract in :mod:`repro.obs.metrics`) and/or an
-    ``Observability`` (retry trace events).  Every method is a cheap
-    no-op when nothing was attached.
+    counters and ``pool.*`` gauges from the contract in
+    :mod:`repro.obs.metrics`) and/or an ``Observability`` (retry trace
+    events).  Every method is a cheap no-op when nothing was attached.
     """
 
     def __init__(self, registry, obs) -> None:
@@ -250,10 +227,16 @@ class _Telemetry:
         #: path, which counts ``obs.digest_errors`` against it).
         self.registry = registry
         self._attempts = self._retries = self._failures = None
+        self._pool_workers = self._pool_queue = self._pool_tasks = None
         if registry is not None:
             self._attempts = registry.register(spec_for("runner.attempts"))
             self._retries = registry.register(spec_for("runner.retries"))
             self._failures = registry.register(spec_for("runner.failures"))
+            self._pool_workers = registry.register(spec_for("pool.workers"))
+            self._pool_queue = registry.register(
+                spec_for("pool.queue_depth")
+            )
+            self._pool_tasks = registry.register(spec_for("pool.tasks"))
 
     def attempt(self) -> None:
         if self._attempts is not None:
@@ -269,6 +252,15 @@ class _Telemetry:
         if self._failures is not None:
             self._failures.inc(kind=kind)
 
+    def pool_task(self, worker: int) -> None:
+        if self._pool_tasks is not None:
+            self._pool_tasks.inc(worker=worker)
+
+    def pool_state(self, workers_alive: int, queue_depth: int) -> None:
+        if self._pool_workers is not None:
+            self._pool_workers.set(workers_alive)
+            self._pool_queue.set(queue_depth)
+
 
 def run_tasks(
     tasks: Sequence[Task],
@@ -280,10 +272,11 @@ def run_tasks(
 
     *registry* (a :class:`repro.obs.registry.MetricsRegistry`) collects
     the ``runner.attempts`` / ``runner.retries`` / ``runner.failures``
-    counters; *obs* (a :class:`repro.obs.Observability`) additionally
-    receives ``runner.retry`` trace events (its registry is used when
-    *registry* is not given).  Both are observational only — task
-    scheduling, retries, and results are unaffected.
+    counters plus the pool gauges; *obs* (a
+    :class:`repro.obs.Observability`) additionally receives
+    ``runner.retry`` trace events (its registry is used when *registry*
+    is not given).  Both are observational only — task scheduling,
+    retries, and results are unaffected.
     """
     policy.validate()
     if registry is None and obs is not None:
@@ -320,6 +313,19 @@ def run_tasks(
         _run_isolated(todo, policy, journal, batch, telem)
     else:
         _run_inline(todo, policy, journal, batch, telem)
+    # Pooled attempts land in completion order, which varies run to run;
+    # re-key into submission order so a batch's outcome is byte-identical
+    # regardless of jobs/pin/scheduling.
+    order = {t.key: i for i, t in enumerate(tasks)}
+    batch.results = {
+        t.key: batch.results[t.key] for t in tasks if t.key in batch.results
+    }
+    batch.failures = {
+        t.key: batch.failures[t.key]
+        for t in tasks
+        if t.key in batch.failures
+    }
+    batch.cancelled.sort(key=order.__getitem__)
     return batch
 
 
@@ -413,40 +419,20 @@ def _run_inline(
                 break
 
 
-def _child_main(task: Task, conn) -> None:
-    """Worker-subprocess entry: run the task, report through the pipe."""
-    try:
-        _maybe_inject_fault(task.key)
-        result = task.fn(*task.args)
-        payload = ("ok", pickle.dumps(result, pickle.HIGHEST_PROTOCOL))
-    except BaseException as exc:  # report SystemExit and friends too
-        payload = (
-            "error", type(exc).__name__, str(exc), traceback.format_exc()
-        )
-    try:
-        conn.send(payload)
-    except Exception:
-        pass  # parent gone or pipe broken; exit code tells the story
-    finally:
-        conn.close()
-
-
 @dataclass
 class _Running:
+    """One in-flight attempt (owned by the worker slot running it).
+
+    All times are ``time.monotonic()`` — the isolated path uses exactly
+    one clock domain, so ``elapsed_s`` and deadline checks can never
+    skew against each other.
+    """
+
     task: Task
     attempt: int
-    process: Any
-    conn: Any
     started: float
     deadline: Optional[float]
     first_started: float
-
-
-def _mp_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
 
 
 def _run_isolated(
@@ -456,11 +442,14 @@ def _run_isolated(
     batch: BatchResult,
     telem: _Telemetry,
 ) -> None:
-    """Crash-isolated execution: one worker subprocess per attempt."""
-    ctx = _mp_context()
+    """Crash-isolated execution on the persistent worker pool."""
+    if not todo:
+        return
+    pool = WorkerPool(min(policy.jobs, len(todo)), pin=policy.pin)
     #: (task, attempt, eligible_at, first_started) awaiting a worker slot.
     pending: deque = deque((t, 1, 0.0, None) for t in todo)
-    running: list[_Running] = []
+    #: worker index -> the attempt it is currently executing.
+    inflight: dict[int, _Running] = {}
     stop = False
 
     def finish_failure(entry: _Running, kind: str, exc_type: str,
@@ -484,129 +473,138 @@ def _run_isolated(
             key=entry.task.key, kind=kind, exception_type=exc_type,
             message=message, traceback=tb,
             config_hash=entry.task.config_hash, attempts=entry.attempt,
-            elapsed_s=time.perf_counter() - entry.first_started,
+            elapsed_s=time.monotonic() - entry.first_started,
         )
         _record_failure(batch, journal, entry.task, report)
         telem.failure(kind)
         if not policy.keep_going:
             stop = True
 
-    while pending or running:
-        if stop:
-            # Fail-fast: kill in-flight workers, cancel everything queued.
-            for entry in running:
-                _kill(entry.process)
-                batch.cancelled.append(entry.task.key)
-            batch.cancelled.extend(t.key for t, *_ in pending)
-            running.clear()
-            pending.clear()
-            break
-
-        now = time.monotonic()
-        # Launch eligible tasks into free worker slots.
-        launched = True
-        while launched and len(running) < policy.jobs and pending:
-            launched = False
-            for _ in range(len(pending)):
-                task, attempt, eligible_at, first = pending.popleft()
-                if eligible_at > now:
-                    pending.append((task, attempt, eligible_at, first))
-                    continue
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                process = ctx.Process(
-                    target=_child_main, args=(task, child_conn), daemon=True
+    pool.start()
+    try:
+        while pending or inflight:
+            if stop:
+                # Fail-fast: cancel in-flight and queued work alike; the
+                # finally-block force-shutdown kills the busy workers.
+                batch.cancelled.extend(
+                    e.task.key for e in inflight.values()
                 )
-                process.start()
-                child_conn.close()
-                started = time.perf_counter()
-                running.append(_Running(
-                    task=task, attempt=attempt, process=process,
-                    conn=parent_conn, started=now,
-                    deadline=(now + policy.timeout_s
+                batch.cancelled.extend(t.key for t, *_ in pending)
+                inflight.clear()
+                pending.clear()
+                break
+
+            now = time.monotonic()
+            # Dispatch eligible tasks onto idle workers.
+            for worker in pool.workers:
+                if not pending:
+                    break
+                if worker.index in inflight or not worker.alive:
+                    continue
+                picked = None
+                for _ in range(len(pending)):
+                    candidate = pending.popleft()
+                    if candidate[2] > now:
+                        pending.append(candidate)
+                        continue
+                    picked = candidate
+                    break
+                if picked is None:
+                    break  # everything queued is still backing off
+                task, attempt, _eligible, first = picked
+                if not pool.dispatch(worker, task.key, task.fn, task.args):
+                    # The slot died between batches; one respawn, then
+                    # requeue rather than risk a hot loop.
+                    pool.respawn(worker)
+                    if not pool.dispatch(
+                        worker, task.key, task.fn, task.args
+                    ):
+                        pending.append((task, attempt, _eligible, first))
+                        continue
+                started = time.monotonic()
+                inflight[worker.index] = _Running(
+                    task=task, attempt=attempt, started=started,
+                    deadline=(started + policy.timeout_s
                               if policy.timeout_s is not None else None),
                     first_started=first if first is not None else started,
-                ))
+                )
                 if journal is not None:
                     journal.append("start", task.key, attempt=attempt)
                 telem.attempt()
-                launched = True
-                break
+                telem.pool_task(worker.index)
+            telem.pool_state(pool.alive_count(), len(pending))
 
-        progressed = False
-        now = time.monotonic()
-        for entry in list(running):
-            message = None
-            if entry.conn.poll():
-                try:
-                    message = entry.conn.recv()
-                except (EOFError, OSError):
-                    message = None  # died mid-send: handled as a crash
-            if message is not None:
-                running.remove(entry)
-                progressed = True
-                entry.process.join(timeout=10.0)
-                entry.conn.close()
-                if message[0] == "ok":
+            # Wait for results/crashes, bounded by the nearest deadline
+            # or backoff wake-up.
+            now = time.monotonic()
+            wait_s = _MAX_WAIT_S
+            for entry in inflight.values():
+                if entry.deadline is not None:
+                    wait_s = min(wait_s, entry.deadline - now)
+            if not inflight and pending:
+                wake = min(item[2] for item in pending)
+                wait_s = min(wait_s, wake - now)
+            for kind, worker, data in pool.events(max(0.0, wait_s)):
+                entry = inflight.pop(worker.index, None)
+                if kind == "result":
+                    if entry is None:
+                        continue  # stale reply from a cancelled slot
+                    message = data
+                    if message[0] == ERR:
+                        _, exc_type, msg, tb = message
+                        finish_failure(
+                            entry, KIND_EXCEPTION, exc_type, msg, tb
+                        )
+                        continue
                     try:
-                        result = pickle.loads(message[1])
+                        result = pickle.loads(result_payload(message))
                     except Exception as exc:
                         finish_failure(
                             entry, KIND_EXCEPTION, type(exc).__name__,
-                            f"result unpickling failed: {exc}",
+                            f"result transport failed: {exc}",
                             traceback.format_exc(),
                         )
                     else:
                         _record_success(
                             batch, journal, entry.task, result,
                             entry.attempt,
-                            time.perf_counter() - entry.first_started,
+                            time.monotonic() - entry.first_started,
                             telem,
                         )
-                else:
-                    _, exc_type, msg, tb = message
-                    finish_failure(entry, KIND_EXCEPTION, exc_type, msg, tb)
-            elif not entry.process.is_alive():
-                # Worker died without reporting back: segfault, OOM kill,
-                # os._exit — the crash-isolation case.
-                running.remove(entry)
-                progressed = True
-                entry.process.join()
-                entry.conn.close()
-                code = entry.process.exitcode
-                detail = (
-                    f"killed by signal {-code}" if code is not None and
-                    code < 0 else f"exit code {code}"
-                )
-                finish_failure(
-                    entry, KIND_CRASH, "WorkerCrash",
-                    f"worker died without a result ({detail})", "",
-                )
-            elif entry.deadline is not None and now >= entry.deadline:
-                running.remove(entry)
-                progressed = True
-                _kill(entry.process)
-                entry.conn.close()
-                finish_failure(
-                    entry, KIND_TIMEOUT, "WorkerTimeout",
-                    f"worker exceeded {policy.timeout_s:g}s wall-clock "
-                    f"budget", "",
-                )
+                else:  # died: segfault, OOM kill, os._exit — crash case
+                    if entry is not None:
+                        code = data
+                        detail = (
+                            f"killed by signal {-code}" if code is not None
+                            and code < 0 else f"exit code {code}"
+                        )
+                        finish_failure(
+                            entry, KIND_CRASH, "WorkerCrash",
+                            f"worker died without a result ({detail})", "",
+                        )
+                    if pending or inflight:
+                        pool.respawn(worker)
+                    else:
+                        pool.reap(worker)
 
-        if not progressed and running:
-            time.sleep(_POLL_S)
-        elif not running and pending:
-            # Everything queued is backing off; sleep until eligible.
-            wake = min(item[2] for item in pending)
-            time.sleep(max(0.0, min(wake - time.monotonic(), 0.5)))
-
-
-def _kill(process) -> None:
-    """Terminate a worker, escalating to SIGKILL if it ignores SIGTERM."""
-    if not process.is_alive():
-        process.join()
-        return
-    process.terminate()
-    process.join(timeout=2.0)
-    if process.is_alive():
-        process.kill()
-        process.join()
+            # Deadline enforcement: kill overrunning workers, replace
+            # them if there is more work to run.
+            if policy.timeout_s is not None:
+                now = time.monotonic()
+                for index, entry in list(inflight.items()):
+                    if entry.deadline is None or now < entry.deadline:
+                        continue
+                    del inflight[index]
+                    worker = pool.workers[index]
+                    if pending or inflight:
+                        pool.restart_worker(worker)
+                    else:
+                        pool.kill_worker(worker)
+                    finish_failure(
+                        entry, KIND_TIMEOUT, "WorkerTimeout",
+                        f"worker exceeded {policy.timeout_s:g}s "
+                        f"wall-clock budget", "",
+                    )
+    finally:
+        pool.shutdown(force=stop)
+        telem.pool_state(0, len(pending))
