@@ -1,0 +1,154 @@
+"""Journal durability benchmark: what crash consistency costs.
+
+Measures the crash-consistent journal (``src/repro/sim/journal.py``,
+schema v2) on four axes and records them to ``BENCH_journal.json`` at
+the repository root (provenance-stamped with trend history — see
+``_common.save_bench_json`` and ``docs/regression.md``):
+
+* **append throughput** — checksummed flushed records/s, default
+  (flush-only) vs. opt-in fsync, so the durability tax of
+  ``--fsync-journal`` is a recorded number instead of folklore;
+* **scan throughput** — records/s through the classifying parser that
+  resume rides on (one pass per batch thanks to the scan cache);
+* **sidecar throughput** — digest-enveloped store and verified load
+  MB/s on a result-sized payload.
+
+Correctness is asserted inline: every appended record must survive a
+fresh scan intact, and the sidecar payload must round-trip
+byte-identically through its digest envelope.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_journal.py          # full
+    PYTHONPATH=src python benchmarks/bench_journal.py --smoke  # CI
+
+The smoke run shrinks the workload and records nothing — shared-runner
+wall clocks are too noisy to gate on; it exists to prove the bench
+itself stays runnable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.sim.journal import Journal
+
+from _common import save_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_journal.json"
+
+MB = 2**20
+
+
+def _bench_appends(root: Path, records: int, fsync: bool) -> float:
+    journal = Journal(root / f"append-{fsync}.jsonl", fsync=fsync)
+    started = time.perf_counter()
+    for i in range(records):
+        journal.append(
+            "done", f"bench/key{i}", attempt=1, elapsed_s=0.01,
+            config_hash="0123456789abcdef",
+        )
+    elapsed = time.perf_counter() - started
+    scan = Journal(journal.path).scan()
+    assert len(scan.records) == records, "append/scan record mismatch"
+    assert not (scan.torn_tail or scan.corrupt_records
+                or scan.checksum_failures), "bench journal scans dirty"
+    return records / elapsed
+
+
+def _bench_scan(root: Path, records: int) -> float:
+    journal = Journal(root / "scan.jsonl")
+    for i in range(records):
+        journal.append("done", f"bench/key{i}", attempt=1, elapsed_s=0.01)
+    started = time.perf_counter()
+    reader = Journal(journal.path)
+    scan = reader.scan()
+    elapsed = time.perf_counter() - started
+    assert len(scan.records) == records
+    # The cached accessors must not re-parse (they ride the same scan).
+    assert len(reader.completed_keys()) == records
+    return records / elapsed
+
+
+def _bench_sidecar(root: Path, payload_mb: float, stores: int) -> dict:
+    journal = Journal(root / "sidecar.jsonl")
+    payload = {"blob": b"\xab" * int(payload_mb * MB)}
+    raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    started = time.perf_counter()
+    for i in range(stores):
+        journal.store_result(f"bench/key{i % 4}", payload)
+    store_s = time.perf_counter() - started
+    started = time.perf_counter()
+    for i in range(stores):
+        loaded = journal.load_result_bytes(f"bench/key{i % 4}")
+        assert loaded == raw, "sidecar payload did not round-trip"
+    load_s = time.perf_counter() - started
+    total_mb = stores * len(raw) / MB
+    return {
+        "store_mb_s": round(total_mb / store_s, 2),
+        "load_mb_s": round(total_mb / load_s, 2),
+    }
+
+
+def run_bench(records: int, payload_mb: float, stores: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-journal-") as tmp:
+        root = Path(tmp)
+        append_rps = _bench_appends(root, records, fsync=False)
+        fsync_rps = _bench_appends(root, max(records // 10, 50), fsync=True)
+        scan_rps = _bench_scan(root, records)
+        sidecar = _bench_sidecar(root, payload_mb, stores)
+    return {
+        "bench": "journal",
+        "records": records,
+        "payload_mb": payload_mb,
+        "append_records_s": round(append_rps, 1),
+        "append_fsync_records_s": round(fsync_rps, 1),
+        "fsync_slowdown": round(append_rps / max(fsync_rps, 1e-9), 2),
+        "scan_records_s": round(scan_rps, 1),
+        **sidecar,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="tiny run, correctness asserts only, nothing recorded",
+    )
+    ap.add_argument(
+        "--records", type=int, default=None, metavar="N",
+        help="journal records per phase (default: 5000 full / 200 smoke)",
+    )
+    ap.add_argument(
+        "--output", type=Path, default=OUTPUT, help="result JSON path"
+    )
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        run_bench(records=args.records or 200, payload_mb=0.5, stores=8)
+        print("journal bench ok (smoke: not recorded)")
+        return 0
+
+    payload = run_bench(
+        records=args.records or 5000, payload_mb=4.0, stores=24
+    )
+    save_bench_json(
+        args.output, payload,
+        trend_keys=("append_records_s", "scan_records_s", "store_mb_s"),
+    )
+    print(f"-> {args.output}")
+    for key in ("append_records_s", "append_fsync_records_s",
+                "fsync_slowdown", "scan_records_s", "store_mb_s",
+                "load_mb_s"):
+        print(f"  {key}: {payload[key]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

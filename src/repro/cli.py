@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.bottleneck import analyze, render
@@ -174,6 +175,7 @@ def _cmd_suite(args) -> int:
         journal_path=journal,
         resume=args.resume,
         pin=args.pin,
+        fsync_journal=args.fsync_journal,
     )
     rdc_bytes = int(args.rdc_gb * 2**30) if args.rdc_gb else 2 * 2**30
     registry = default_registry() if args.metrics_out else None
@@ -220,6 +222,40 @@ def _cmd_suite(args) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    """Run the seeded crash drill (docs/chaos.md): a fault-free serial
+    reference sweep, then the same sweep under a chaos plan with the
+    batch SIGKILLed between --resume rounds, then invariant checks
+    (byte-identical results, terminal journal, no orphans).  Exits 1
+    when any invariant is violated."""
+    import shutil
+    import tempfile
+
+    from repro.sim.chaos import DRILL_WORKLOADS, run_drill
+
+    explicit_dir = args.dir is not None
+    root = (
+        Path(args.dir) if explicit_dir
+        else Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    )
+    report = run_drill(
+        root,
+        seed=args.seed,
+        system=args.system,
+        workloads=args.workloads or DRILL_WORKLOADS,
+        rounds=args.rounds,
+        jobs=args.jobs,
+        pin=args.pin,
+    )
+    print(report.render())
+    if report.ok and not explicit_dir:
+        shutil.rmtree(root, ignore_errors=True)
+    elif not report.ok:
+        print(f"\ndrill workspace kept for inspection: {root}",
+              file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_sharing(args) -> int:
@@ -498,6 +534,9 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p.add_argument("--journal", default=None, metavar="PATH",
                          help="JSONL execution journal (default: "
                               ".repro-journal/suite-<system>.jsonl)")
+    suite_p.add_argument("--fsync-journal", action="store_true",
+                         help="fsync every journal append and sidecar "
+                              "store (power-loss durability; slower)")
     suite_p.add_argument("--resume", action="store_true",
                          help="skip points the journal records as done")
     suite_p.add_argument("--no-cache", action="store_true")
@@ -505,6 +544,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write runner counters + per-workload metric "
                               "summaries as JSON")
     suite_p.set_defaults(fn=_cmd_suite)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="seeded crash drill: sweep under a fault plan, kill and "
+             "resume repeatedly, assert byte-identical convergence "
+             "(docs/chaos.md)",
+    )
+    chaos_p.add_argument("--seed", type=int, default=0,
+                         help="chaos plan seed (same seed = same fault "
+                              "schedule)")
+    chaos_p.add_argument("--system", default=E.NUMA_GPU,
+                         choices=sorted(E.experiment_configs()))
+    chaos_p.add_argument("--workloads", nargs="+",
+                         choices=suite.all_abbrs(), default=None,
+                         help="suite slice to drill "
+                              "(default: Lulesh Euler CoMD MCB)")
+    chaos_p.add_argument("--rounds", type=int, default=3, metavar="N",
+                         help="chaos rounds; all but the last are "
+                              "SIGKILLed mid-batch (default: 3)")
+    chaos_p.add_argument("--jobs", type=int, default=2, metavar="N",
+                         help="worker processes for the chaos rounds "
+                              "(default: 2; 1 drills the inline path)")
+    chaos_p.add_argument("--pin", action="store_true",
+                         help="NUMA-pin the chaos rounds' pool workers")
+    chaos_p.add_argument("--dir", default=None, metavar="DIR",
+                         help="drill workspace (kept afterwards; default: "
+                              "a tmp dir, removed when the drill passes)")
+    chaos_p.set_defaults(fn=_cmd_chaos)
 
     sh_p = sub.add_parser("sharing", help="page/line sharing analysis")
     sh_p.add_argument("workload", choices=suite.all_abbrs())

@@ -115,7 +115,7 @@ class WallClockRule(Rule):
     SCOPE = ("core/", "numa/", "gpu/", "perf/", "workloads/", "memory/",
              "sim/", "obs/")
     #: Modules whose entire purpose is wall-clock orchestration.
-    ALLOWLIST = ("sim/runner.py",)
+    ALLOWLIST = ("sim/runner.py", "sim/chaos.py")
 
     BANNED = frozenset({
         "time.time", "time.time_ns",

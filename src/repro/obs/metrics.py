@@ -129,11 +129,31 @@ SPECS: tuple = (
                "repro infra"),
     MetricSpec("runner.failures", KIND_COUNTER, "failures", ("kind",),
                "Task attempts that failed, by failure kind "
-               "(exception/timeout/crash).", "repro infra"),
+               "(exception/timeout/crash/crash_loop).", "repro infra"),
     # -- worker pool -----------------------------------------------------
     MetricSpec("pool.tasks", KIND_COUNTER, "tasks", ("worker",),
                "Tasks dispatched to each persistent pool worker slot "
                "(counts across respawns).", "repro infra"),
+    # -- chaos engine & journal durability (docs/chaos.md) ---------------
+    MetricSpec("chaos.injected", KIND_COUNTER, "faults", ("kind",),
+               "Faults injected in this process by the seeded chaos "
+               "engine, by fault kind; the drill state directory is the "
+               "cross-process audit trail.", "repro infra"),
+    MetricSpec("journal.torn_records", KIND_COUNTER, "records", (),
+               "Half-written journal tail lines (crash mid-append) "
+               "detected and silently truncated before the next append.",
+               "repro infra"),
+    MetricSpec("journal.corrupt_records", KIND_COUNTER, "records", (),
+               "Damaged non-tail journal lines (unparsable or malformed) "
+               "skipped with a one-shot warning — not crash fallout.",
+               "repro infra"),
+    MetricSpec("journal.checksum_failures", KIND_COUNTER, "records", (),
+               "Complete journal records dropped because their "
+               "per-record checksum did not verify.", "repro infra"),
+    MetricSpec("journal.sidecar_quarantined", KIND_COUNTER, "files", (),
+               "Unreadable or digest-mismatched sidecar result pickles "
+               "quarantined to *.corrupt; the point re-runs on resume.",
+               "repro infra"),
     # -- tracer self-accounting ------------------------------------------
     MetricSpec("trace.dropped", KIND_COUNTER, "events", (),
                "Events evicted from the tracer ring buffer (capacity "

@@ -21,6 +21,7 @@ from typing import Callable, Optional
 
 from repro.config import SystemConfig
 from repro.perf.stats import RunResult
+from repro.sim import chaos
 from repro.workloads.base import WorkloadSpec
 
 #: Bump on any change that alters simulation results (or the shape of
@@ -112,6 +113,11 @@ def store(spec: WorkloadSpec, config: SystemConfig, result: RunResult) -> None:
         tmp.replace(path)
     finally:
         tmp.unlink(missing_ok=True)
+    # Chaos drill hook (docs/chaos.md): a simcache_corrupt event rots
+    # the entry at rest, which the quarantine path in load() must turn
+    # back into a clean re-simulated miss.
+    chaos.fire(chaos.SITE_SIMCACHE_STORE, getattr(spec, "name", ""),
+               path=path)
 
 
 def cached(

@@ -32,55 +32,27 @@ bit-identical to the serial in-process loop.
 
 from __future__ import annotations
 
-import hashlib
 import multiprocessing
 import os
 import pickle
-import signal
-import time
 import traceback
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
 from pathlib import Path
 from typing import Any, Callable, Optional, Sequence
 
-# ---------------------------------------------------------------------------
-# Fault injection (testing the harness itself)
-# ---------------------------------------------------------------------------
-
-#: Fault-injection hook for exercising the runner/pool themselves
-#: (tests, CI drills).  Format ``"<mode>:<key-substring>"`` where mode
-#: is one of ``fail`` (raise), ``crash`` (SIGKILL self), ``hang``
-#: (sleep forever), ``flaky`` (raise on the first attempt only, using a
-#: sentinel file under ``REPRO_INJECT_FAULT_STATE``).  Affects only
-#: tasks whose key contains the substring; an empty substring matches
-#: every task.
-FAULT_ENV = "REPRO_INJECT_FAULT"
-FAULT_STATE_ENV = "REPRO_INJECT_FAULT_STATE"
-
-
-def _maybe_inject_fault(key: str) -> None:
-    spec = os.environ.get(FAULT_ENV)
-    if not spec:
-        return
-    mode, _, match = spec.partition(":")
-    if match and match not in key:
-        return
-    if mode == "fail":
-        raise RuntimeError(f"injected failure for {key!r}")
-    if mode == "crash":
-        os.kill(os.getpid(), signal.SIGKILL)
-    if mode == "hang":
-        time.sleep(3600)
-    if mode == "flaky":
-        state_dir = Path(os.environ.get(FAULT_STATE_ENV, "."))
-        sentinel = state_dir / (
-            hashlib.sha256(key.encode()).hexdigest()[:24] + ".flaky"
-        )
-        if not sentinel.exists():
-            state_dir.mkdir(parents=True, exist_ok=True)
-            sentinel.touch()
-            raise RuntimeError(f"injected flaky failure for {key!r}")
+# Fault injection for drilling the harness itself lives in
+# :mod:`repro.sim.chaos` — both the legacy single-fault env hook and
+# the seeded multi-fault ChaosPlan engine (docs/chaos.md).  The pool
+# re-exports the legacy env contract and fires the hooks at its two
+# fault sites: task entry (worker loop) and shared-memory export.
+from repro.sim.chaos import (
+    FAULT_ENV as FAULT_ENV,  # re-export: the env contract is part of the API
+    FAULT_STATE_ENV as FAULT_STATE_ENV,
+    SITE_SHM_EXPORT as _SITE_SHM_EXPORT,
+    fire as _chaos_fire,
+    fire_task as _maybe_inject_fault,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -231,12 +203,15 @@ def _untrack_shm(name: str) -> None:
         pass
 
 
-def _export_payload(payload: bytes, shm_min: int) -> tuple:
+def _export_payload(payload: bytes, shm_min: int, key: str = "") -> tuple:
     """Worker side: wrap a pickled result for the pipe, or hand it over
     via shared memory when it exceeds *shm_min* (fall back to the pipe
     on any shared-memory failure)."""
     if 0 <= shm_min <= len(payload):
         try:
+            # Chaos hook inside the try: an injected shm failure takes
+            # the same fallback road a real one would.
+            _chaos_fire(_SITE_SHM_EXPORT, key)
             from multiprocessing import shared_memory
 
             shm = shared_memory.SharedMemory(
@@ -293,7 +268,7 @@ def _worker_main(
             _maybe_inject_fault(key)
             result = fn(*args)
             payload = pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
-            reply = _export_payload(payload, shm_min)
+            reply = _export_payload(payload, shm_min, key)
         except BaseException as exc:  # report SystemExit and friends too
             reply = (
                 ERR, type(exc).__name__, str(exc), traceback.format_exc()
@@ -344,6 +319,10 @@ class PoolWorker:
     #: Tasks dispatched to this slot over the pool's lifetime (counts
     #: across respawns — it identifies the slot, not the process).
     tasks_started: int = 0
+    #: Deaths since the slot last delivered a result.  The runner's
+    #: crash-loop breaker reads this to stop respawning a slot that can
+    #: never complete a task (poison task, broken node, OOM treadmill).
+    consecutive_deaths: int = 0
 
     @property
     def alive(self) -> bool:
@@ -446,6 +425,7 @@ class WorkerPool:
             except (EOFError, OSError):
                 worker.conn_dead = True  # crash-handled via the sentinel
                 continue
+            worker.consecutive_deaths = 0
             out.append(("result", worker, message))
             delivered.add(worker.index)
         for obj in ready:
@@ -468,12 +448,14 @@ class WorkerPool:
                 # (e.g. its send succeeded, then it crashed); prefer it.
                 try:
                     if worker.conn.poll(0):
+                        worker.consecutive_deaths = 0
                         out.append(("result", worker, worker.conn.recv()))
                         delivered.add(worker.index)
                         continue
                 except (EOFError, OSError):
                     worker.conn_dead = True
             if not process.is_alive():
+                worker.consecutive_deaths += 1
                 out.append(("died", worker, process.exitcode))
         return out
 

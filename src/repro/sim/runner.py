@@ -50,6 +50,7 @@ from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.obs.metrics import spec_for
 from repro.obs.summary import summarize_result
+from repro.sim import chaos
 from repro.sim.journal import Journal
 from repro.sim.pool import (
     ERR,
@@ -64,6 +65,7 @@ from repro.sim.pool import (
 KIND_EXCEPTION = "exception"  # the task raised
 KIND_TIMEOUT = "timeout"      # the worker exceeded the wall-clock budget
 KIND_CRASH = "crash"          # the worker died without reporting back
+KIND_CRASH_LOOP = "crash_loop"  # a slot died so often the breaker opened
 
 #: Default location for journals (CI uploads this directory on failure).
 JOURNAL_DIR_ENV = "REPRO_JOURNAL_DIR"
@@ -120,6 +122,17 @@ class RunnerPolicy:
     #: Pin pool workers round-robin across NUMA nodes with per-worker
     #: CPU affinity (isolated path only; no-op where unsupported).
     pin: bool = False
+    #: Crash-loop breaker: a worker slot that dies this many times
+    #: *consecutively* (no completed task in between) fails the batch
+    #: with a ``crash_loop`` FailureReport instead of respawning
+    #: forever — regardless of ``keep_going``, because a slot that can
+    #: never complete anything would otherwise burn retries on every
+    #: remaining point.
+    max_slot_crashes: int = 5
+    #: Fsync journal appends and sidecar stores (power-loss durability;
+    #: see ``docs/runner.md``).  Default off: flush-only already
+    #: survives process crashes.
+    fsync_journal: bool = False
 
     def validate(self) -> None:
         if self.jobs <= 0:
@@ -134,6 +147,8 @@ class RunnerPolicy:
             raise ValueError("backoff jitter cannot be negative")
         if self.resume and self.journal_path is None:
             raise ValueError("resume requires a journal path")
+        if self.max_slot_crashes <= 0:
+            raise ValueError("max_slot_crashes must be positive")
 
     @property
     def isolated(self) -> bool:
@@ -156,7 +171,7 @@ class FailureReport:
     """Everything known about a task that ultimately failed."""
 
     key: str
-    kind: str  # KIND_EXCEPTION | KIND_TIMEOUT | KIND_CRASH
+    kind: str  # KIND_EXCEPTION | KIND_TIMEOUT | KIND_CRASH | KIND_CRASH_LOOP
     exception_type: str
     message: str
     traceback: str
@@ -286,8 +301,23 @@ def run_tasks(
     if len(set(keys)) != len(keys):
         raise ValueError("task keys must be unique within a batch")
 
-    journal = Journal(policy.journal_path) if policy.journal_path else None
+    # A chaos engine armed via the environment (docs/chaos.md) counts
+    # its parent-side injections against this batch's registry.
+    chaos.attach_registry(registry)
+    journal = (
+        Journal(
+            policy.journal_path,
+            fsync=True if policy.fsync_journal else None,
+            registry=registry,
+        )
+        if policy.journal_path else None
+    )
     if journal is not None:
+        # Tmp sidecars orphaned by a SIGKILL mid-store (unique names,
+        # so they can pile up across crashed batches) are swept here,
+        # at batch start — never from store_result, whose concurrent
+        # writers must not touch each other's live tmp files.
+        journal.sweep_orphans()
         # Stamp the batch with its environment fingerprint (code
         # version, git sha, python) so report/regression tooling can
         # validate the provenance of every journalled digest.
@@ -578,6 +608,36 @@ def _run_isolated(
                             f"killed by signal {-code}" if code is not None
                             and code < 0 else f"exit code {code}"
                         )
+                        if worker.consecutive_deaths >= \
+                                policy.max_slot_crashes:
+                            # Crash-loop breaker: this slot has died
+                            # max_slot_crashes times without completing
+                            # anything.  Respawning again would burn the
+                            # whole batch through the same shredder, so
+                            # fail it now with the diagnosis — even
+                            # under keep_going.
+                            report = FailureReport(
+                                key=entry.task.key, kind=KIND_CRASH_LOOP,
+                                exception_type="CrashLoop",
+                                message=(
+                                    f"worker slot {worker.index} died "
+                                    f"{worker.consecutive_deaths} times "
+                                    f"in a row without completing a task "
+                                    f"(last: {detail}); breaker opened — "
+                                    f"failing the batch"
+                                ),
+                                traceback="",
+                                config_hash=entry.task.config_hash,
+                                attempts=entry.attempt,
+                                elapsed_s=(
+                                    time.monotonic() - entry.first_started
+                                ),
+                            )
+                            _record_failure(batch, journal, entry.task,
+                                            report)
+                            telem.failure(KIND_CRASH_LOOP)
+                            stop = True
+                            continue
                         finish_failure(
                             entry, KIND_CRASH, "WorkerCrash",
                             f"worker died without a result ({detail})", "",

@@ -217,3 +217,48 @@ class TestJournalResume:
         journal = tmp_path / "j.jsonl"
         run_tasks(_tasks(_ok, ["a"]), RunnerPolicy(journal_path=journal))
         assert Journal(journal).load_result("a") == 2
+
+
+class TestCrashLoopBreaker:
+    def test_breaker_fails_the_batch(self, monkeypatch):
+        # Every task crashes its worker; with generous retries the batch
+        # would previously grind through respawn after respawn.  The
+        # breaker opens after max_slot_crashes consecutive deaths of one
+        # slot and fails the batch with a diagnostic, keep_going or not.
+        from repro.sim.runner import KIND_CRASH_LOOP
+
+        monkeypatch.setenv(FAULT_ENV, "crash:")
+        policy = RunnerPolicy(
+            jobs=2, retries=10, backoff_base_s=0.01,
+            max_slot_crashes=2, keep_going=True,
+        )
+        batch = run_tasks(_tasks(_ok, ["a", "b", "c", "d"]), policy)
+        assert not batch.ok
+        loop_failures = [
+            f for f in batch.failures.values() if f.kind == KIND_CRASH_LOOP
+        ]
+        assert loop_failures, batch.failures
+        report = loop_failures[0]
+        assert report.exception_type == "CrashLoop"
+        assert "died 2 times in a row" in report.message
+        assert "breaker opened" in report.message
+
+    def test_intermittent_crashes_do_not_trip(self, monkeypatch):
+        # One crashing key among healthy ones: its two attempts (retries
+        # exhausted) can produce at most two consecutive deaths on any
+        # slot, under a breaker of three — so the batch must finish
+        # through the ordinary retry/crash path, never the breaker.
+        from repro.sim.runner import KIND_CRASH_LOOP
+
+        monkeypatch.setenv(FAULT_ENV, "crash:victim")
+        policy = RunnerPolicy(
+            jobs=2, retries=1, backoff_base_s=0.01, max_slot_crashes=3,
+        )
+        batch = run_tasks(_tasks(_ok, ["a", "b", "victim", "c"]), policy)
+        kinds = {f.kind for f in batch.failures.values()}
+        assert KIND_CRASH_LOOP not in kinds
+        assert batch.results["a"] == 2
+
+    def test_policy_rejects_nonpositive_breaker(self):
+        with pytest.raises(ValueError):
+            RunnerPolicy(max_slot_crashes=0).validate()
