@@ -1,0 +1,173 @@
+"""Load benchmark for the ``repro serve`` job service (docs/serve.md).
+
+Drives concurrent submissions through the real socket path — a
+:class:`~repro.serve.service.ThreadedServer` on an ephemeral port, N
+client threads hammering ``POST /jobs`` — and records:
+
+- **submit latency** (p50/p95, ms): POST round-trip under concurrency,
+  covering dedup lookup + queue admission;
+- **throughput** (jobs/s): unique configs executed per second of wall
+  time, end to end (submit → terminal);
+- **dedup hit ratio**: fraction of submissions answered without
+  execution (coalesced in flight or served from the CAS) — the number
+  that says content addressing is actually absorbing repeat traffic.
+
+The mix is deliberately skewed: each client submits every config from
+a small shared set several times over, so most submissions *should*
+dedup.  The bench asserts that — exactly one execution per unique
+config — before recording any numbers, so a dedup regression fails the
+bench rather than flattering its throughput.
+
+Results land in the committed, provenance-stamped ``BENCH_serve.json``
+(git sha, CODE_VERSION, timestamp, trend history — see
+``_common.save_bench_json``).  ``--smoke`` shrinks the mix and skips
+recording: CI wall clocks are too noisy to commit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py          # full, records
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke  # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.serve import ServeClient, ThreadedServer
+
+from _common import save_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_serve.json"
+
+#: The unique-config pool: one system across distinct workload picks.
+WORKLOAD_SETS = (
+    ("Lulesh",), ("XSBench",), ("AMG",), ("CoMD",),
+    ("MCB",), ("HPGMG",), ("Euler",), ("MiniAMR",),
+)
+
+
+def run_load(clients: int, unique: int, repeats: int,
+             queue_depth: int) -> dict:
+    """One load run; returns the measured payload (no stamping)."""
+    unique_sets = WORKLOAD_SETS[:unique]
+    submit_ms: list[float] = []
+    responses: list[dict] = []
+    lock = threading.Lock()
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        with ThreadedServer(tmp, pool_jobs=1,
+                            queue_depth=queue_depth) as srv:
+            def client_main(idx: int) -> None:
+                c = ServeClient(port=srv.port, timeout=120)
+                for r in range(repeats):
+                    for ws in unique_sets:
+                        t0 = time.perf_counter()
+                        resp = c.submit("numa-gpu", workloads=list(ws))
+                        dt = (time.perf_counter() - t0) * 1e3
+                        while resp.status == 429:
+                            time.sleep(0.05)
+                            resp = c.submit("numa-gpu",
+                                            workloads=list(ws))
+                        with lock:
+                            submit_ms.append(dt)
+                            responses.append({"status": resp.status,
+                                              "dedup": resp["dedup"],
+                                              "id": resp["id"]})
+
+            t_start = time.perf_counter()
+            threads = [threading.Thread(target=client_main, args=(i,))
+                       for i in range(clients)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            waiter = ServeClient(port=srv.port, timeout=120)
+            for r in responses:
+                waiter.wait(r["id"], timeout=300)
+            elapsed_s = time.perf_counter() - t_start
+            snapshot = waiter.metricsz().body
+
+    executed = sum(1 for r in responses if r["dedup"] == "new")
+    total = len(responses)
+    hits = sum(1 for r in responses if r["dedup"] in ("coalesced",
+                                                      "cached"))
+    # Correctness gate before any perf number: content addressing must
+    # have collapsed every repeat — one execution per unique config.
+    assert executed == len(unique_sets), (
+        f"dedup broke: {executed} executions for {len(unique_sets)} "
+        f"unique configs"
+    )
+    assert hits == total - executed
+
+    submit_ms.sort()
+
+    def pct(p: float) -> float:
+        return submit_ms[min(len(submit_ms) - 1,
+                             int(p * len(submit_ms)))]
+
+    serve_counters = {
+        name: metric["values"].get("", 0)
+        for name, metric in snapshot.items()
+        if name.startswith("serve.") and metric["kind"] == "counter"
+        and not metric["labels"]
+    }
+    return {
+        "clients": clients,
+        "unique_configs": len(unique_sets),
+        "submissions": total,
+        "executions": executed,
+        "dedup_hit_ratio": round(hits / total, 4),
+        "p50_submit_ms": round(statistics.median(submit_ms), 3),
+        "p95_submit_ms": round(pct(0.95), 3),
+        "jobs_per_s": round(executed / elapsed_s, 3),
+        "elapsed_s": round(elapsed_s, 3),
+        "serve_counters": serve_counters,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small mix, assertions only, nothing "
+                             "recorded (CI mode)")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="client threads (default: 8 full / "
+                             "3 smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="times each client resubmits the whole "
+                             "config set (default: 4 full / 2 smoke)")
+    args = parser.parse_args(argv)
+
+    clients = args.clients or (3 if args.smoke else 8)
+    repeats = args.repeats or (2 if args.smoke else 4)
+    unique = 3 if args.smoke else len(WORKLOAD_SETS)
+
+    payload = run_load(clients=clients, unique=unique, repeats=repeats,
+                       queue_depth=max(8, unique + 2))
+    print(f"serve load: {payload['submissions']} submissions from "
+          f"{clients} clients -> {payload['executions']} executions "
+          f"(dedup hit ratio {payload['dedup_hit_ratio']:.0%})")
+    print(f"  submit p50 {payload['p50_submit_ms']:.1f} ms, "
+          f"p95 {payload['p95_submit_ms']:.1f} ms; "
+          f"{payload['jobs_per_s']:.2f} unique jobs/s end to end")
+
+    if args.smoke:
+        print("serve bench ok (smoke: not recorded)")
+        return 0
+    save_bench_json(OUTPUT, payload, trend_keys=(
+        "p50_submit_ms", "p95_submit_ms", "jobs_per_s",
+        "dedup_hit_ratio",
+    ))
+    print(f"recorded to {OUTPUT.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

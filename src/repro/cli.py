@@ -14,6 +14,7 @@ Exposes the library's common operations without writing Python:
     python -m repro baseline compare          # two-tier regression gate
     python -m repro report                    # markdown/HTML dashboard
     python -m repro lint                      # determinism/invariant lint
+    python -m repro serve --port 8765         # async job service (HTTP)
 
 ``run``, ``suite`` and ``trace`` all accept ``--metrics-out PATH`` to
 dump the metric registry (see ``docs/metrics.md``) as JSON; ``trace``
@@ -434,6 +435,27 @@ def _cmd_lint(args) -> int:
     return result.exit_code
 
 
+def _cmd_serve(args) -> int:
+    """Run the async job service until interrupted (docs/serve.md)."""
+    import asyncio
+
+    from repro.serve.service import serve
+
+    print(f"repro serve listening on http://{args.host}:{args.port} "
+          f"(pool jobs: {args.jobs}, queue depth: {args.queue_depth}, "
+          f"store: {args.store})")
+    try:
+        asyncio.run(serve(
+            args.host, args.port,
+            store_dir=args.store,
+            pool_jobs=args.jobs,
+            queue_depth=args.queue_depth,
+        ))
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     if args.clear:
         n = simcache.clear()
@@ -650,6 +672,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="merge-base ref for VER001 "
                              "(default: origin/main)")
     lint_p.set_defaults(fn=_cmd_lint)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the async job service: HTTP submit/status/result/"
+             "report over the worker-pool fabric (docs/serve.md)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8765,
+                         help="bind port, 0 for ephemeral "
+                              "(default: 8765)")
+    serve_p.add_argument("--jobs", type=int, default=2, metavar="N",
+                         help="worker-pool width per job; 1 runs "
+                              "in-process (default: 2)")
+    serve_p.add_argument("--queue-depth", type=int, default=8,
+                         metavar="N",
+                         help="bounded submission queue depth; a full "
+                              "queue answers 429 + Retry-After "
+                              "(default: 8)")
+    serve_p.add_argument("--store", default=".repro-serve",
+                         metavar="DIR",
+                         help="content-addressed result store + "
+                              "per-job journals (default: .repro-serve)")
+    serve_p.set_defaults(fn=_cmd_serve)
 
     report_p = sub.add_parser(
         "report",

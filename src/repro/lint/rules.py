@@ -111,11 +111,18 @@ class WallClockRule(Rule):
     title = "wall-clock read on the deterministic simulated path"
 
     #: Path prefixes forming the deterministic simulated path (plus the
-    #: obs layer, whose digests feed bit-exact baseline records).
+    #: obs layer, whose digests feed bit-exact baseline records, and the
+    #: serve layer, kept in scope so any future leak of wall time into a
+    #: result payload needs an explicit allowlist entry here).
     SCOPE = ("core/", "numa/", "gpu/", "perf/", "workloads/", "memory/",
-             "sim/", "obs/")
-    #: Modules whose entire purpose is wall-clock orchestration.
-    ALLOWLIST = ("sim/runner.py", "sim/chaos.py")
+             "sim/", "obs/", "serve/")
+    #: Modules whose entire purpose is wall-clock orchestration:
+    #: the runner's timeouts/backoff, the chaos drill's hang injection,
+    #: and the job service's latency metrics + client-facing timestamps
+    #: (serve/jobs.py) and client-side polling deadlines
+    #: (serve/client.py) — none of which feed simulation results.
+    ALLOWLIST = ("sim/runner.py", "sim/chaos.py", "serve/jobs.py",
+                 "serve/client.py")
 
     BANNED = frozenset({
         "time.time", "time.time_ns",

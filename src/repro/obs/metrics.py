@@ -34,6 +34,8 @@ _LINK = ("src", "dst")
 ACCESS_BUCKETS = (1_000, 10_000, 100_000, 1_000_000, 10_000_000)
 #: Bucket bounds for per-kernel accumulated latency in nanoseconds.
 LATENCY_BUCKETS = (1e5, 1e6, 1e7, 1e8, 1e9, 1e10)
+#: Bucket bounds for job service execution latency in seconds.
+SERVE_LATENCY_BUCKETS = (0.1, 0.5, 1.0, 5.0, 30.0, 120.0, 600.0)
 
 #: The full, ordered metric contract.  docs/metrics.md mirrors this table.
 SPECS: tuple = (
@@ -154,6 +156,26 @@ SPECS: tuple = (
                "Unreadable or digest-mismatched sidecar result pickles "
                "quarantined to *.corrupt; the point re-runs on resume.",
                "repro infra"),
+    # -- job service (docs/serve.md) -------------------------------------
+    MetricSpec("serve.submitted", KIND_COUNTER, "requests", (),
+               "Job submissions accepted by the service, regardless of "
+               "disposition (new, coalesced, or cached).", "repro infra"),
+    MetricSpec("serve.deduped", KIND_COUNTER, "requests", (),
+               "Submissions answered straight from the content-addressed "
+               "result store (CAS hit — no execution).", "repro infra"),
+    MetricSpec("serve.coalesced", KIND_COUNTER, "requests", (),
+               "Submissions attached to an already-queued or running job "
+               "with the same content address.", "repro infra"),
+    MetricSpec("serve.rejected", KIND_COUNTER, "requests", (),
+               "Submissions refused with 429 because the bounded "
+               "submission queue was full.", "repro infra"),
+    MetricSpec("serve.completed", KIND_COUNTER, "jobs", ("state",),
+               "Jobs reaching a terminal lifecycle state, by state "
+               "(done, failed, cancelled).", "repro infra"),
+    MetricSpec("serve.store_quarantined", KIND_COUNTER, "files", (),
+               "Corrupt CAS result files (bad checksum, decode failure, "
+               "or key mismatch) quarantined to *.corrupt; the config "
+               "re-runs on next submission.", "repro infra"),
     # -- tracer self-accounting ------------------------------------------
     MetricSpec("trace.dropped", KIND_COUNTER, "events", (),
                "Events evicted from the tracer ring buffer (capacity "
@@ -180,6 +202,9 @@ SPECS: tuple = (
     MetricSpec("pool.queue_depth", KIND_GAUGE, "tasks", (),
                "Tasks queued behind the pool (pending dispatch or "
                "backing off) at the last scheduling step.", "repro infra"),
+    MetricSpec("serve.queue_depth", KIND_GAUGE, "jobs", (),
+               "Jobs waiting in the service's bounded submission queue "
+               "(excludes the one currently executing).", "repro infra"),
     # -- histograms ------------------------------------------------------
     MetricSpec("kernel.accesses", KIND_HISTOGRAM, "accesses", (),
                "Distribution of access counts across kernels.",
@@ -187,6 +212,10 @@ SPECS: tuple = (
     MetricSpec("kernel.latency_ns", KIND_HISTOGRAM, "nanoseconds", _G,
                "Distribution of per-kernel accumulated access latency per "
                "GPU.", "§6 methodology", buckets=LATENCY_BUCKETS),
+    MetricSpec("serve.latency_s", KIND_HISTOGRAM, "seconds", (),
+               "Distribution of job execution wall time (running → "
+               "terminal), excluding queue wait.", "repro infra",
+               buckets=SERVE_LATENCY_BUCKETS),
 )
 
 #: Every contracted metric name (what docs may legally reference).

@@ -1,0 +1,48 @@
+"""``repro serve`` — the simulator as a service (docs/serve.md).
+
+An asyncio job service over the fault-tolerant sweep fabric: submit a
+suite config over HTTP, get a job id, poll status, fetch the JSON
+result or the rendered HTML report.  Identical configs are deduplicated
+against a content-addressed on-disk result store and coalesced while in
+flight; a bounded submission queue gives explicit backpressure (429 +
+``Retry-After``).
+
+Layers (each importable on its own):
+
+* :mod:`repro.serve.routes` — the endpoint contract (dependency-free;
+  ``tools/check_docs.py`` checks docs against it)
+* :mod:`repro.serve.store` — content-addressed result store (CAS)
+* :mod:`repro.serve.jobs` — job model, validation, scheduling core
+* :mod:`repro.serve.service` — the asyncio HTTP frontend
+* :mod:`repro.serve.client` — blocking client for tests/bench/scripts
+"""
+
+from repro.serve.client import ServeClient, ServeResponse
+from repro.serve.jobs import (
+    Job,
+    JobRequest,
+    JobService,
+    QueueFullError,
+    RequestError,
+    ShuttingDownError,
+)
+from repro.serve.routes import ROUTES, RouteSpec
+from repro.serve.service import ThreadedServer, serve
+from repro.serve.store import ResultStore, cas_key
+
+__all__ = [
+    "Job",
+    "JobRequest",
+    "JobService",
+    "QueueFullError",
+    "RequestError",
+    "ResultStore",
+    "ROUTES",
+    "RouteSpec",
+    "ServeClient",
+    "ServeResponse",
+    "ShuttingDownError",
+    "ThreadedServer",
+    "cas_key",
+    "serve",
+]

@@ -1,0 +1,131 @@
+"""Blocking HTTP client for ``repro serve`` (stdlib ``http.client``).
+
+The tests, the load bench, and the CI end-to-end driver all talk to the
+service through this helper, so the wire contract documented in
+``docs/serve.md`` is exercised by every consumer the repo ships.
+
+Every call returns a :class:`ServeResponse` — status code plus decoded
+body — and raises nothing on 4xx/5xx; callers assert on ``status``
+(backpressure, 429, is an *expected* answer, not an exception).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+# Wall-clock reads here time out client-side polling of a live server —
+# service telemetry, never a simulation input.  DET001-allowlisted in
+# repro/lint/rules.py.
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One HTTP exchange: status, headers, and the decoded body."""
+
+    status: int
+    headers: dict
+    #: Decoded JSON for ``application/json`` responses, else raw text.
+    body: object
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def __getitem__(self, key):
+        return self.body[key]
+
+
+class ServeClient:
+    """A thin, connection-per-request client for one service instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- raw exchange ----------------------------------------------------
+
+    def request(self, method: str, path: str,
+                payload: Optional[dict] = None) -> ServeResponse:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            if content_type.startswith("application/json"):
+                decoded = json.loads(raw.decode("utf-8")) if raw else None
+            else:
+                decoded = raw.decode("utf-8", errors="replace")
+            return ServeResponse(
+                status=response.status,
+                headers={k.lower(): v for k, v in response.getheaders()},
+                body=decoded,
+            )
+        finally:
+            conn.close()
+
+    # -- endpoint wrappers (one per route in repro.serve.routes) ---------
+
+    def submit(self, system: str, workloads=None, **kwargs
+               ) -> ServeResponse:
+        """``POST /jobs``; extra kwargs pass through to the request body
+        (rdc_gb, use_cache, timeout_s, retries)."""
+        payload = {"system": system, **kwargs}
+        if workloads is not None:
+            payload["workloads"] = list(workloads)
+        return self.request("POST", "/jobs", payload)
+
+    def jobs(self) -> ServeResponse:
+        return self.request("GET", "/jobs")
+
+    def job(self, job_id: str) -> ServeResponse:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> ServeResponse:
+        return self.request("GET", f"/jobs/{job_id}/result")
+
+    def report(self, job_id: str) -> ServeResponse:
+        return self.request("GET", f"/jobs/{job_id}/report")
+
+    def healthz(self) -> ServeResponse:
+        return self.request("GET", "/healthz")
+
+    def metricsz(self) -> ServeResponse:
+        return self.request("GET", "/metricsz")
+
+    # -- conveniences ----------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_s: float = 0.1) -> ServeResponse:
+        """Poll ``GET /jobs/<id>`` until the job is terminal.
+
+        Returns the final status response; raises :class:`TimeoutError`
+        if the job is still live when *timeout* expires.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            response = self.job(job_id)
+            if response.status == 200 and response["state"] in (
+                    "done", "failed", "cancelled"):
+                return response
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} not terminal after {timeout}s "
+                    f"(last: {response.body!r})"
+                )
+            time.sleep(poll_s)
+
+
+__all__ = ["ServeClient", "ServeResponse"]

@@ -1,0 +1,485 @@
+"""Job model and asyncio execution fabric for ``repro serve``.
+
+The service separates four concerns the batch CLI fuses together:
+
+* **request** — :class:`JobRequest`, the validated, immutable statement
+  of *what* to run (suite config + workloads + runner knobs).  Its
+  :meth:`~JobRequest.cas_key` is the content address of the answer.
+* **job** — :class:`Job`, one request's trip through the lifecycle
+  state machine ``queued → running → done | failed | cancelled``.
+* **execution** — :func:`execute_request`, a plain blocking function
+  that drives :func:`repro.sim.experiments.run_suite` on the worker
+  pool and shapes the result payload.  It runs on a thread
+  (``asyncio.to_thread``) so the event loop keeps serving status
+  requests while the simulator grinds.
+* **scheduling** — :class:`JobService`, the asyncio manager: a bounded
+  submission queue (explicit backpressure), dedup against in-flight
+  jobs (coalescing) and against the CAS store (cache hits), a single
+  executor draining the queue, and graceful shutdown that finishes the
+  running job and cancels the rest.
+
+Failed jobs are **never** written to the CAS: a failure is a property
+of the attempt (timeout, crash, flaky machine), not of the config, so
+resubmitting the same config after a failure re-runs it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+# Wall-clock reads in this module are service telemetry (job latency,
+# timestamps shown to clients) — they never feed simulation results.
+# DET001-allowlisted in repro/lint/rules.py with this justification.
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.baseline import environment_fingerprint
+from repro.obs.summary import summarize_result
+from repro.serve.store import ResultStore, cas_key
+from repro.sim.cache import CODE_VERSION
+from repro.sim.experiments import GB, config_for, experiment_configs, run_suite
+from repro.sim.runner import RunnerPolicy, config_hash
+from repro.workloads import suite
+
+# Lifecycle states (docs/serve.md documents the full state machine).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+# Dedup dispositions reported back to the submitter.
+DISP_NEW = "new"
+DISP_COALESCED = "coalesced"
+DISP_CACHED = "cached"
+
+
+class RequestError(ValueError):
+    """A submission payload that fails validation (HTTP 400)."""
+
+
+class QueueFullError(RuntimeError):
+    """The submission queue is at capacity (HTTP 429)."""
+
+
+class ShuttingDownError(RuntimeError):
+    """The service no longer accepts submissions (HTTP 503)."""
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """The validated, immutable description of one suite run."""
+
+    system: str
+    workloads: tuple
+    rdc_gb: float = 2.0
+    use_cache: bool = True
+    timeout_s: Optional[float] = None
+    retries: int = 0
+
+    @classmethod
+    def from_payload(cls, payload) -> "JobRequest":
+        """Build a request from a decoded JSON body, or raise
+        :class:`RequestError` naming the offending field."""
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        known = {"system", "workloads", "rdc_gb", "use_cache",
+                 "timeout_s", "retries"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise RequestError(f"unknown field(s): {', '.join(unknown)}")
+
+        system = payload.get("system")
+        valid_systems = sorted(experiment_configs())
+        if system not in valid_systems:
+            raise RequestError(
+                f"system: expected one of {valid_systems}, got {system!r}"
+            )
+
+        workloads = payload.get("workloads")
+        if workloads is None:
+            workloads = list(suite.all_abbrs())
+        if (not isinstance(workloads, (list, tuple)) or not workloads
+                or not all(isinstance(w, str) for w in workloads)):
+            raise RequestError(
+                "workloads: expected a non-empty list of workload "
+                "abbreviations"
+            )
+        bad = sorted(set(workloads) - set(suite.all_abbrs()))
+        if bad:
+            raise RequestError(
+                f"workloads: unknown abbreviation(s) {', '.join(bad)}"
+            )
+
+        rdc_gb = payload.get("rdc_gb", 2.0)
+        if not isinstance(rdc_gb, (int, float)) or isinstance(rdc_gb, bool) \
+                or rdc_gb <= 0:
+            raise RequestError(f"rdc_gb: expected a positive number, "
+                               f"got {rdc_gb!r}")
+
+        use_cache = payload.get("use_cache", True)
+        if not isinstance(use_cache, bool):
+            raise RequestError(f"use_cache: expected a boolean, "
+                               f"got {use_cache!r}")
+
+        timeout_s = payload.get("timeout_s")
+        if timeout_s is not None and (
+                not isinstance(timeout_s, (int, float))
+                or isinstance(timeout_s, bool) or timeout_s <= 0):
+            raise RequestError(f"timeout_s: expected a positive number "
+                               f"or null, got {timeout_s!r}")
+
+        retries = payload.get("retries", 0)
+        if not isinstance(retries, int) or isinstance(retries, bool) \
+                or retries < 0:
+            raise RequestError(f"retries: expected a non-negative "
+                               f"integer, got {retries!r}")
+
+        return cls(system=system, workloads=tuple(workloads),
+                   rdc_gb=float(rdc_gb), use_cache=use_cache,
+                   timeout_s=timeout_s, retries=retries)
+
+    def cas_key(self) -> str:
+        """The content address of this request's result.
+
+        ``config_for`` validates the resolved system config upfront, so
+        a request that would fail deep inside the simulator fails here,
+        at submission time, instead.
+        """
+        config = config_for(self.system, rdc_bytes=int(self.rdc_gb * GB))
+        return cas_key(
+            config_hash=config_hash(config),
+            code_version=CODE_VERSION,
+            system=self.system,
+            workloads=self.workloads,
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "system": self.system,
+            "workloads": list(self.workloads),
+            "rdc_gb": self.rdc_gb,
+            "use_cache": self.use_cache,
+            "timeout_s": self.timeout_s,
+            "retries": self.retries,
+        }
+
+
+@dataclass
+class Job:
+    """One request's trip through the lifecycle state machine."""
+
+    id: str
+    key: str
+    request: JobRequest
+    state: str = QUEUED
+    dedup: str = DISP_NEW
+    #: Wall-clock submission time (client-facing telemetry only).
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[dict] = None
+    #: FailureReport records keyed by workload abbr (state ``failed``),
+    #: or a single ``{"kind": "exception", ...}`` under ``_service`` if
+    #: the executor itself blew up.
+    failures: dict = field(default_factory=dict)
+    cancelled_workloads: list = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def status_payload(self) -> dict:
+        payload = {
+            "id": self.id,
+            "key": self.key,
+            "state": self.state,
+            "dedup": self.dedup,
+            "request": self.request.to_payload(),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.failures:
+            payload["failures"] = self.failures
+        if self.cancelled_workloads:
+            payload["cancelled"] = list(self.cancelled_workloads)
+        if self.error:
+            payload["error"] = self.error
+        return payload
+
+
+def execute_request(request: JobRequest, journal_path, pool_jobs: int,
+                    registry=None) -> tuple:
+    """Run one request on the worker fabric (blocking).
+
+    Returns ``(payload, suite_run)``: the JSON-safe result payload and
+    the raw :class:`~repro.sim.experiments.SuiteRun` (whose ``ok`` flag
+    decides done vs failed and whether the payload enters the CAS).
+    """
+    t0 = time.monotonic()  # service latency only — never a sim input
+    policy = RunnerPolicy(
+        jobs=pool_jobs,
+        timeout_s=request.timeout_s,
+        retries=request.retries,
+        keep_going=True,
+        journal_path=journal_path,
+    )
+    run = run_suite(
+        request.system,
+        workloads=list(request.workloads),
+        rdc_bytes=int(request.rdc_gb * GB),
+        use_cache=request.use_cache,
+        runner=policy,
+        registry=registry,
+    )
+    elapsed = time.monotonic() - t0
+    payload = {
+        "system": request.system,
+        "workloads": list(request.workloads),
+        "rdc_gb": request.rdc_gb,
+        "fingerprint": environment_fingerprint(config=run.config),
+        "ok": run.ok,
+        "elapsed_s": elapsed,
+        "results": {
+            abbr: {
+                "time_s": run.time_s(abbr),
+                "metrics": summarize_result(result),
+            }
+            for abbr, result in sorted(run.results.items())
+        },
+        "failures": {
+            abbr: {"key": f"{request.system}/{abbr}", **report.to_record()}
+            for abbr, report in sorted(run.failures.items())
+        },
+        "cancelled": sorted(run.cancelled),
+    }
+    return payload, run
+
+
+#: Queue sentinel: tells the executor to exit after the current job.
+_SHUTDOWN = object()
+
+
+class JobService:
+    """The asyncio scheduling core behind the HTTP frontend.
+
+    One executor coroutine drains a bounded queue; the simulator runs
+    on a worker thread so the event loop stays responsive.  All state
+    mutation happens on the event loop thread — handlers and the
+    executor never race.
+    """
+
+    def __init__(self, store: ResultStore, *, pool_jobs: int = 2,
+                 queue_depth: int = 8, registry=None,
+                 retry_after_s: int = 5):
+        self.store = store
+        self.pool_jobs = pool_jobs
+        self.queue_depth = queue_depth
+        self.registry = registry
+        self.retry_after_s = retry_after_s
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
+        self._jobs: dict = {}        # job id -> Job
+        self._active: dict = {}      # cas key -> non-terminal Job
+        self._seq = 0
+        self._accepting = False
+        self._executor_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        self._accepting = True
+        self._executor_task = asyncio.create_task(
+            self._run_executor(), name="repro-serve-executor"
+        )
+
+    async def stop(self) -> None:
+        """Graceful shutdown: finish the running job, cancel the queue.
+
+        Ordering matters: close the front door first (new submits get
+        503), then mark everything still queued as cancelled, then let
+        the executor drain — the sentinel is only read after any job
+        already dequeued has finished.
+        """
+        self._accepting = False
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is not _SHUTDOWN and item.state == QUEUED:
+                self._finish(item, CANCELLED)
+        await self._queue.put(_SHUTDOWN)
+        if self._executor_task is not None:
+            await self._executor_task
+            self._executor_task = None
+        self._set_queue_gauge()
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, request: JobRequest) -> tuple:
+        """Admit one request; returns ``(job, disposition)``.
+
+        The disposition is *this submission's* fate (``new``,
+        ``coalesced``, ``cached``) — a coalesced submission returns the
+        live job, whose own ``dedup`` records how *it* was created.
+        Raises :class:`QueueFullError` (→ 429) or
+        :class:`ShuttingDownError` (→ 503).  Dedup order: a live job
+        with the same key wins over the CAS (it is fresher — it *is*
+        the computation), the CAS wins over a new execution.
+        """
+        if not self._accepting:
+            raise ShuttingDownError("service is shutting down")
+        self._count("serve.submitted")
+        key = request.cas_key()
+
+        active = self._active.get(key)
+        if active is not None and not active.terminal:
+            self._count("serve.coalesced")
+            return active, DISP_COALESCED
+
+        cached = self.store.load(key)
+        if cached is not None:
+            self._count("serve.deduped")
+            job = self._new_job(key, request, dedup=DISP_CACHED)
+            job.state = DONE
+            job.result = cached
+            job.finished_at = job.submitted_at
+            self._count_completed(DONE)
+            return job, DISP_CACHED
+
+        job = self._new_job(key, request, dedup=DISP_NEW)
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            del self._jobs[job.id]
+            self._count("serve.rejected")
+            raise QueueFullError(
+                f"submission queue full ({self.queue_depth} deep); "
+                f"retry after {self.retry_after_s}s"
+            ) from None
+        self._active[key] = job
+        self._set_queue_gauge()
+        return job, DISP_NEW
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> list:
+        return [self._jobs[i] for i in sorted(self._jobs)]
+
+    def queue_size(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    # -- executor --------------------------------------------------------
+
+    async def _run_executor(self) -> None:
+        while True:
+            item = await self._queue.get()
+            self._set_queue_gauge()
+            if item is _SHUTDOWN:
+                return
+            if item.state != QUEUED:  # cancelled while queued
+                continue
+            await self._execute(item)
+
+    async def _execute(self, job: Job) -> None:
+        job.state = RUNNING
+        job.started_at = time.time()  # client-facing timestamp only
+        journal_path = self.store.journal_path(job.key)
+        try:
+            payload, run = await asyncio.to_thread(
+                execute_request, job.request, journal_path,
+                self.pool_jobs, self.registry,
+            )
+        except Exception as exc:  # config/runner blew up, not a point
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.failures["_service"] = {
+                "kind": "exception",
+                "exception_type": type(exc).__name__,
+                "message": str(exc),
+            }
+            self._finish(job, FAILED)
+            return
+        job.result = payload
+        job.failures = payload["failures"]
+        job.cancelled_workloads = payload["cancelled"]
+        if run.ok:
+            # Only fully-successful results enter the CAS: a partial
+            # result must not shadow a future clean run of the config.
+            await asyncio.to_thread(self.store.save, job.key, payload)
+            self._finish(job, DONE)
+        else:
+            self._finish(job, FAILED)
+
+    # -- internals -------------------------------------------------------
+
+    def _new_job(self, key: str, request: JobRequest, *,
+                 dedup: str) -> Job:
+        self._seq += 1
+        job = Job(
+            id=f"job-{self._seq:04d}-{key[:8]}",
+            key=key,
+            request=request,
+            dedup=dedup,
+            submitted_at=time.time(),  # client-facing timestamp only
+        )
+        self._jobs[job.id] = job
+        return job
+
+    def _finish(self, job: Job, state: str) -> None:
+        job.state = state
+        job.finished_at = time.time()  # client-facing timestamp only
+        if self._active.get(job.key) is job:
+            del self._active[job.key]
+        self._count_completed(state)
+        if job.started_at is not None and state in (DONE, FAILED):
+            self._observe_latency(job.finished_at - job.started_at)
+
+    def _metric(self, name: str):
+        from repro.obs.metrics import spec_for
+
+        return self.registry.register(spec_for(name))
+
+    def _count(self, name: str) -> None:
+        if self.registry is not None:
+            self._metric(name).inc()
+
+    def _count_completed(self, state: str) -> None:
+        if self.registry is not None:
+            self._metric("serve.completed").inc(state=state)
+
+    def _set_queue_gauge(self) -> None:
+        if self.registry is not None:
+            self._metric("serve.queue_depth").set(self._queue.qsize())
+
+    def _observe_latency(self, seconds: float) -> None:
+        if self.registry is not None:
+            self._metric("serve.latency_s").observe(seconds)
+
+
+__all__ = [
+    "CANCELLED",
+    "DISP_CACHED",
+    "DISP_COALESCED",
+    "DISP_NEW",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobRequest",
+    "JobService",
+    "QUEUED",
+    "QueueFullError",
+    "RequestError",
+    "RUNNING",
+    "ShuttingDownError",
+    "TERMINAL_STATES",
+    "execute_request",
+]

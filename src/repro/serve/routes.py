@@ -1,0 +1,109 @@
+"""The HTTP route registry of ``repro serve`` — a documented contract.
+
+Every endpoint the service exposes is declared here, once, as a
+:class:`RouteSpec`.  ``docs/serve.md`` is the human-readable mirror of
+this table and ``tools/check_docs.py`` keeps the two in lockstep (the
+same scheme as the metric contract in :mod:`repro.obs.metrics`): a
+route added here without a doc row — or referenced in docs without a
+spec here — fails CI.
+
+Endpoint patterns are **stable contracts**.  Renaming one breaks every
+client, script, and doc that refers to it; add a new route and
+deprecate the old one instead.
+
+This module is deliberately dependency-free (no simulator imports):
+the docs checker runs in a CI job with no third-party packages
+installed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+#: Placeholder segments (``<id>``) match one non-empty path segment.
+_PLACEHOLDER_RE = re.compile(r"<([a-z_]+)>")
+
+
+@dataclass(frozen=True)
+class RouteSpec:
+    """The declared identity of one endpoint — the documented contract.
+
+    ``pattern`` uses ``<name>`` placeholders for path parameters
+    (``/jobs/<id>/result``); ``name`` keys the handler lookup in
+    :mod:`repro.serve.service`; ``description`` is mirrored into
+    ``docs/serve.md``.
+    """
+
+    method: str
+    pattern: str
+    name: str
+    description: str
+
+    def rendered(self) -> str:
+        """The doc-facing form: ``"GET /jobs/<id>/result"``."""
+        return f"{self.method} {self.pattern}"
+
+    def regex(self) -> re.Pattern:
+        parts = _PLACEHOLDER_RE.sub(
+            lambda m: f"(?P<{m.group(1)}>[^/]+)", self.pattern
+        )
+        return re.compile(f"^{parts}$")
+
+
+#: The full, ordered route contract.  docs/serve.md mirrors this table.
+ROUTES: tuple = (
+    RouteSpec("POST", "/jobs", "submit",
+              "Submit a suite config; returns a job id (dedup-aware)."),
+    RouteSpec("GET", "/jobs", "list_jobs",
+              "List every job this service instance knows about."),
+    RouteSpec("GET", "/jobs/<id>", "job_status",
+              "Job status: lifecycle state, dedup disposition, failure "
+              "reports."),
+    RouteSpec("GET", "/jobs/<id>/result", "job_result",
+              "The completed job's result payload (per-workload digest "
+              "+ times)."),
+    RouteSpec("GET", "/jobs/<id>/report", "job_report",
+              "The HTML dashboard rendered from the job's execution "
+              "journal."),
+    RouteSpec("GET", "/healthz", "healthz",
+              "Liveness + queue occupancy snapshot."),
+    RouteSpec("GET", "/metricsz", "metricsz",
+              "JSON snapshot of the service's metric registry."),
+)
+
+#: Every contracted endpoint in doc-rendered form.
+ROUTE_NAMES = frozenset(spec.rendered() for spec in ROUTES)
+
+
+def match_route(method: str, path: str) -> Optional[tuple]:
+    """``(spec, path-params)`` for a request line, or ``None``.
+
+    A path that matches some route's pattern under a *different* method
+    still returns ``None``; the server turns that into 405 vs 404 by
+    consulting :func:`methods_for`.
+    """
+    for spec in ROUTES:
+        if spec.method != method:
+            continue
+        m = spec.regex().match(path)
+        if m:
+            return spec, m.groupdict()
+    return None
+
+
+def methods_for(path: str) -> list[str]:
+    """Methods under which *path* would match any route (405 support)."""
+    return sorted({
+        spec.method for spec in ROUTES if spec.regex().match(path)
+    })
+
+
+__all__ = [
+    "ROUTES",
+    "ROUTE_NAMES",
+    "RouteSpec",
+    "match_route",
+    "methods_for",
+]

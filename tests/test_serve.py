@@ -1,0 +1,416 @@
+"""Tests for the ``repro serve`` job service (docs/serve.md).
+
+Fast tests monkeypatch :func:`repro.serve.jobs.execute_request` with a
+gated fake so scheduling behaviour (coalescing, backpressure, graceful
+shutdown) is exercised deterministically, without simulating anything.
+A small number of integration tests run the real simulator through the
+full socket path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.lint.resolver import MetricNameResolver
+from repro.obs.events import EVENT_KINDS
+from repro.obs.metrics import SPECS, default_registry
+from repro.serve import ServeClient, ThreadedServer
+from repro.serve.jobs import JobRequest, RequestError
+from repro.serve.routes import ROUTES, match_route, methods_for
+from repro.serve.store import ResultStore, cas_key
+
+WORKLOAD = "Lulesh"
+OTHER_WORKLOADS = ("XSBench", "AMG", "CoMD", "MCB", "HPGMG")
+
+
+def _fake_execute(started=None, release=None, ok=True):
+    """A stand-in for execute_request, optionally gated on events."""
+
+    def fake(request, journal_path, pool_jobs, registry=None):
+        if started is not None:
+            started.set()
+        if release is not None:
+            assert release.wait(30), "test never released the fake job"
+        payload = {
+            "system": request.system,
+            "workloads": list(request.workloads),
+            "rdc_gb": request.rdc_gb,
+            "fingerprint": {"fake": True},
+            "ok": ok,
+            "elapsed_s": 0.0,
+            "results": {},
+            "failures": {} if ok else {
+                WORKLOAD: {"key": f"{request.system}/{WORKLOAD}",
+                           "kind": "exception",
+                           "exception_type": "RuntimeError",
+                           "message": "boom", "traceback": "",
+                           "config_hash": "", "attempts": 1,
+                           "elapsed_s": 0.0},
+            },
+            "cancelled": [],
+        }
+        return payload, SimpleNamespace(ok=ok)
+
+    return fake
+
+
+# ---------------------------------------------------------------------------
+# Route registry
+# ---------------------------------------------------------------------------
+
+class TestRoutes:
+    def test_every_route_matches_its_own_pattern(self):
+        for spec in ROUTES:
+            sample = spec.pattern.replace("<id>", "job-0001-abcdef01")
+            matched = match_route(spec.method, sample)
+            assert matched is not None
+            assert matched[0] is spec
+
+    def test_path_params_extracted(self):
+        spec, params = match_route("GET", "/jobs/job-0007-cafe/result")
+        assert spec.name == "job_result"
+        assert params == {"id": "job-0007-cafe"}
+
+    def test_unknown_path_matches_nothing(self):
+        assert match_route("GET", "/nope") is None
+        assert methods_for("/nope") == []
+
+    def test_wrong_method_reports_allowed(self):
+        assert match_route("DELETE", "/jobs") is None
+        assert methods_for("/jobs") == ["GET", "POST"]
+
+
+# ---------------------------------------------------------------------------
+# Request validation
+# ---------------------------------------------------------------------------
+
+class TestJobRequest:
+    def test_minimal_payload_fills_defaults(self):
+        req = JobRequest.from_payload(
+            {"system": "numa-gpu", "workloads": [WORKLOAD]}
+        )
+        assert req.system == "numa-gpu"
+        assert req.workloads == (WORKLOAD,)
+        assert req.rdc_gb == 2.0 and req.use_cache is True
+
+    @pytest.mark.parametrize("payload, fragment", [
+        ([], "JSON object"),
+        ({"workloads": [WORKLOAD]}, "system:"),
+        ({"system": "warp-drive"}, "system:"),
+        ({"system": "numa-gpu", "workloads": []}, "workloads:"),
+        ({"system": "numa-gpu", "workloads": ["NotAWorkload"]},
+         "NotAWorkload"),
+        ({"system": "numa-gpu", "rdc_gb": -1}, "rdc_gb:"),
+        ({"system": "numa-gpu", "use_cache": "yes"}, "use_cache:"),
+        ({"system": "numa-gpu", "timeout_s": 0}, "timeout_s:"),
+        ({"system": "numa-gpu", "retries": -2}, "retries:"),
+        ({"system": "numa-gpu", "surprise": 1}, "unknown field"),
+    ])
+    def test_bad_payloads_name_the_field(self, payload, fragment):
+        with pytest.raises(RequestError, match=None) as exc:
+            JobRequest.from_payload(payload)
+        assert fragment in str(exc.value)
+
+    def test_cas_key_ignores_runner_knobs(self):
+        base = {"system": "numa-gpu", "workloads": [WORKLOAD]}
+        a = JobRequest.from_payload(base)
+        b = JobRequest.from_payload({**base, "retries": 3,
+                                     "timeout_s": 60.0})
+        assert a.cas_key() == b.cas_key()
+
+    def test_cas_key_varies_with_config(self):
+        a = JobRequest.from_payload(
+            {"system": "numa-gpu", "workloads": [WORKLOAD]})
+        b = JobRequest.from_payload(
+            {"system": "carve-hwc", "workloads": [WORKLOAD]})
+        c = JobRequest.from_payload(
+            {"system": "carve-hwc", "workloads": [WORKLOAD],
+             "rdc_gb": 4.0})
+        assert len({a.cas_key(), b.cas_key(), c.cas_key()}) == 3
+
+
+# ---------------------------------------------------------------------------
+# The content-addressed store
+# ---------------------------------------------------------------------------
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = cas_key(config_hash="abc", code_version=1,
+                      system="numa-gpu", workloads=(WORKLOAD,))
+        assert store.load(key) is None
+        store.save(key, {"ok": True, "n": 42})
+        assert store.load(key) == {"ok": True, "n": 42}
+        assert store.keys() == [key]
+
+    def test_workload_order_does_not_change_the_key(self):
+        kw = dict(config_hash="abc", code_version=1, system="s")
+        assert cas_key(workloads=("A", "B"), **kw) == \
+            cas_key(workloads=("B", "A"), **kw)
+
+    def test_corrupt_file_is_quarantined_and_counted(self, tmp_path):
+        registry = default_registry()
+        store = ResultStore(tmp_path, registry=registry)
+        key = "deadbeef" * 4
+        store.save(key, {"ok": True})
+        path = store.result_path(key)
+        path.write_text(path.read_text()[:-20] + "garbage}\n")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.load(key) is None
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert registry.get("serve.store_quarantined").total() == 1
+        # quarantine cleared the slot: a fresh save works again
+        store.save(key, {"ok": True})
+        assert store.load(key) == {"ok": True}
+
+    def test_checksum_mismatch_detected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "cafebabe" * 4
+        store.save(key, {"value": 1})
+        path = store.result_path(key)
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["value"] = 2  # silent bit-flip, sum stale
+        path.write_text(json.dumps(envelope))
+        with pytest.warns(RuntimeWarning):
+            assert store.load(key) is None
+
+    def test_key_mismatch_detected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("a" * 32, {"value": 1})
+        # file renamed to the wrong address
+        store.result_path("a" * 32).rename(store.result_path("b" * 32))
+        with pytest.warns(RuntimeWarning):
+            assert store.load("b" * 32) is None
+
+
+# ---------------------------------------------------------------------------
+# Scheduling behaviour (fake executor — fast and deterministic)
+# ---------------------------------------------------------------------------
+
+class TestScheduling:
+    def test_inflight_coalescing(self, tmp_path, monkeypatch):
+        started, release = threading.Event(), threading.Event()
+        monkeypatch.setattr("repro.serve.jobs.execute_request",
+                            _fake_execute(started, release))
+        with ThreadedServer(tmp_path, pool_jobs=1) as srv:
+            c = ServeClient(port=srv.port)
+            first = c.submit("numa-gpu", workloads=[WORKLOAD])
+            assert first.status == 201 and first["dedup"] == "new"
+            assert started.wait(10)
+            # same config while running → same job id, one execution
+            second = c.submit("numa-gpu", workloads=[WORKLOAD])
+            assert second.status == 200
+            assert second["dedup"] == "coalesced"
+            assert second["id"] == first["id"]
+            release.set()
+            final = c.wait(first["id"], timeout=30)
+            assert final["state"] == "done"
+            snap = c.metricsz().body
+            assert snap["serve.coalesced"]["values"][""] == 1
+
+    def test_completed_config_is_a_cas_hit(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.serve.jobs.execute_request",
+                            _fake_execute())
+        with ThreadedServer(tmp_path, pool_jobs=1) as srv:
+            c = ServeClient(port=srv.port)
+            first = c.submit("numa-gpu", workloads=[WORKLOAD])
+            c.wait(first["id"], timeout=30)
+            again = c.submit("numa-gpu", workloads=[WORKLOAD])
+            assert again.status == 200
+            assert again["dedup"] == "cached"
+            assert again["state"] == "done"
+            assert again["id"] != first["id"]
+            assert again["key"] == first["key"]
+            # the cached job serves the stored payload
+            assert c.result(again["id"])["fingerprint"] == {"fake": True}
+
+    def test_cas_survives_restart(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.serve.jobs.execute_request",
+                            _fake_execute())
+        with ThreadedServer(tmp_path, pool_jobs=1) as srv:
+            c = ServeClient(port=srv.port)
+            r = c.submit("numa-gpu", workloads=[WORKLOAD])
+            c.wait(r["id"], timeout=30)
+        with ThreadedServer(tmp_path, pool_jobs=1) as srv:
+            c = ServeClient(port=srv.port)
+            again = c.submit("numa-gpu", workloads=[WORKLOAD])
+            assert again["dedup"] == "cached"
+
+    def test_queue_full_answers_429_with_retry_after(self, tmp_path,
+                                                     monkeypatch):
+        started, release = threading.Event(), threading.Event()
+        monkeypatch.setattr("repro.serve.jobs.execute_request",
+                            _fake_execute(started, release))
+        with ThreadedServer(tmp_path, pool_jobs=1, queue_depth=1) as srv:
+            c = ServeClient(port=srv.port)
+            # distinct configs: dedup must not mask the queue
+            c.submit("numa-gpu", workloads=[WORKLOAD])
+            assert started.wait(10)          # executing, queue empty
+            queued = c.submit("numa-gpu", workloads=[OTHER_WORKLOADS[0]])
+            assert queued.status == 201      # fills the queue
+            rejected = c.submit("numa-gpu",
+                                workloads=[OTHER_WORKLOADS[1]])
+            assert rejected.status == 429
+            assert rejected.headers["retry-after"] == "5"
+            assert rejected["retry_after_s"] == 5
+            # a coalescing submit still bypasses the full queue
+            again = c.submit("numa-gpu", workloads=[OTHER_WORKLOADS[0]])
+            assert again.status == 200 and again["dedup"] == "coalesced"
+            release.set()
+            snap = c.metricsz().body
+            assert snap["serve.rejected"]["values"][""] == 1
+
+    def test_failed_jobs_are_not_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.serve.jobs.execute_request",
+                            _fake_execute(ok=False))
+        with ThreadedServer(tmp_path, pool_jobs=1) as srv:
+            c = ServeClient(port=srv.port)
+            r = c.submit("numa-gpu", workloads=[WORKLOAD])
+            final = c.wait(r["id"], timeout=30)
+            assert final["state"] == "failed"
+            assert final["failures"][WORKLOAD]["kind"] == "exception"
+            # failure is a property of the attempt: resubmit re-runs
+            again = c.submit("numa-gpu", workloads=[WORKLOAD])
+            assert again["dedup"] == "new"
+
+    def test_graceful_shutdown_drains_inflight_cancels_queued(
+            self, tmp_path, monkeypatch):
+        started, release = threading.Event(), threading.Event()
+        monkeypatch.setattr("repro.serve.jobs.execute_request",
+                            _fake_execute(started, release))
+        srv = ThreadedServer(tmp_path, pool_jobs=1)
+        srv.start()
+        c = ServeClient(port=srv.port)
+        running = c.submit("numa-gpu", workloads=[WORKLOAD])
+        assert started.wait(10)
+        queued = c.submit("numa-gpu", workloads=[OTHER_WORKLOADS[0]])
+        stopper = threading.Thread(target=srv.stop)
+        stopper.start()
+        release.set()
+        stopper.join(30)
+        assert not stopper.is_alive()
+        # the in-flight job completed and its result was stored ...
+        store = ResultStore(tmp_path)
+        running_req = JobRequest.from_payload(
+            {"system": "numa-gpu", "workloads": [WORKLOAD]})
+        assert store.load(running_req.cas_key()) is not None
+        # ... while the queued one never executed
+        queued_req = JobRequest.from_payload(
+            {"system": "numa-gpu", "workloads": [OTHER_WORKLOADS[0]]})
+        assert store.load(queued_req.cas_key()) is None
+        assert running["id"] != queued["id"]
+
+
+# ---------------------------------------------------------------------------
+# HTTP surface details (fake executor)
+# ---------------------------------------------------------------------------
+
+class TestHttpSurface:
+    def test_unknown_job_404s(self, tmp_path):
+        with ThreadedServer(tmp_path) as srv:
+            c = ServeClient(port=srv.port)
+            assert c.job("job-9999-missing").status == 404
+            assert c.result("job-9999-missing").status == 404
+            assert c.report("job-9999-missing").status == 404
+
+    def test_unknown_route_404s_wrong_method_405s(self, tmp_path):
+        with ThreadedServer(tmp_path) as srv:
+            c = ServeClient(port=srv.port)
+            assert c.request("GET", "/nope").status == 404
+            r = c.request("DELETE", "/jobs")
+            assert r.status == 405
+            assert r.headers["allow"] == "GET, POST"
+
+    def test_invalid_submissions_400(self, tmp_path):
+        with ThreadedServer(tmp_path) as srv:
+            c = ServeClient(port=srv.port)
+            r = c.submit("warp-drive")
+            assert r.status == 400 and "system:" in r["error"]
+            r = c.submit("numa-gpu", workloads=["NotAWorkload"])
+            assert r.status == 400 and "NotAWorkload" in r["error"]
+
+    def test_result_before_completion_409s(self, tmp_path, monkeypatch):
+        started, release = threading.Event(), threading.Event()
+        monkeypatch.setattr("repro.serve.jobs.execute_request",
+                            _fake_execute(started, release))
+        with ThreadedServer(tmp_path, pool_jobs=1) as srv:
+            c = ServeClient(port=srv.port)
+            r = c.submit("numa-gpu", workloads=[WORKLOAD])
+            assert started.wait(10)
+            pending = c.result(r["id"])
+            assert pending.status == 409
+            assert pending["state"] == "running"
+            release.set()
+
+    def test_healthz_and_job_list(self, tmp_path):
+        with ThreadedServer(tmp_path, queue_depth=3) as srv:
+            c = ServeClient(port=srv.port)
+            h = c.healthz()
+            assert h.status == 200 and h["ok"] is True
+            assert h["accepting"] is True
+            assert h["queue_capacity"] == 3
+            listing = c.jobs()
+            assert listing.status == 200
+            assert listing["jobs"] == []
+
+    def test_metricsz_names_resolve_against_the_contract(self, tmp_path):
+        resolver = MetricNameResolver(SPECS, EVENT_KINDS)
+        with ThreadedServer(tmp_path) as srv:
+            c = ServeClient(port=srv.port)
+            snap = c.metricsz().body
+        assert "serve.submitted" in snap
+        for name in snap:
+            assert resolver.looks_like_metric(name), name
+            assert resolver.resolve(name) is None, name
+
+
+# ---------------------------------------------------------------------------
+# Integration (real simulator through the real socket)
+# ---------------------------------------------------------------------------
+
+class TestIntegration:
+    def test_submit_status_result_report_round_trip(self, tmp_path):
+        with ThreadedServer(tmp_path, pool_jobs=1) as srv:
+            c = ServeClient(port=srv.port)
+            r = c.submit("numa-gpu", workloads=[WORKLOAD],
+                         use_cache=False)
+            assert r.status == 201
+            final = c.wait(r["id"], timeout=300)
+            assert final["state"] == "done"
+            result = c.result(r["id"])
+            assert result.status == 200 and result["ok"] is True
+            digest = result["results"][WORKLOAD]["metrics"]
+            assert digest["sim.accesses"] > 0
+            assert result["results"][WORKLOAD]["time_s"] > 0
+            fp = result["fingerprint"]
+            assert fp["config_hash"] and fp["code_version"]
+            report = c.report(r["id"])
+            assert report.status == 200
+            assert report.headers["content-type"].startswith("text/html")
+            assert "<html" in report.body
+            # the journal really is the report's source
+            store = ResultStore(tmp_path)
+            assert store.journal_path(final["key"]).exists()
+
+    def test_worker_crash_surfaces_failure_report(self, tmp_path,
+                                                  monkeypatch):
+        # SIGKILL the pool worker at task entry (legacy chaos hook);
+        # pool_jobs=2 keeps the crash in an isolated worker process.
+        monkeypatch.setenv("REPRO_INJECT_FAULT", f"crash:{WORKLOAD}")
+        with ThreadedServer(tmp_path, pool_jobs=2) as srv:
+            c = ServeClient(port=srv.port)
+            r = c.submit("numa-gpu", workloads=[WORKLOAD],
+                         use_cache=False)
+            final = c.wait(r["id"], timeout=300)
+            assert final["state"] == "failed"
+            report = final["failures"][WORKLOAD]
+            assert report["kind"] == "crash"
+            assert report["key"] == f"numa-gpu/{WORKLOAD}"
+            assert report["attempts"] >= 1
+            # failed configs never enter the CAS
+            assert ResultStore(tmp_path).keys() == []

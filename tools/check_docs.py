@@ -14,6 +14,16 @@ Two families of checks over the repository's Markdown:
    labels must match the spec's declared labels.  The reverse holds
    too: every registered metric and event kind must be documented in
    ``docs/metrics.md``.
+3. **Service endpoints** — every backticked ``METHOD /path`` token
+   (e.g. `` `GET /jobs/<id>` ``) must match a route declared in
+   ``repro.serve.routes.ROUTES``, and every declared route must appear
+   in the API reference ``docs/serve.md`` — same two-direction contract
+   as the metrics table.
+4. **CLI subcommands** — every subcommand registered in
+   ``src/repro/cli.py`` (found by AST walk over ``add_parser`` calls,
+   so this file needs no simulator imports) must be mentioned in
+   ``README.md`` as `` `repro <name>` `` or ``python -m repro <name>``,
+   so new subcommands can't silently miss the quick-start.
 
 Metric names are stable contracts (see docs/metrics.md); this checker
 is what enforces the contract in both directions.  Token resolution is
@@ -38,12 +48,18 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.lint.resolver import MetricNameResolver  # noqa: E402
 from repro.obs.events import EVENT_KINDS  # noqa: E402
 from repro.obs.metrics import SPECS  # noqa: E402
+from repro.serve.routes import ROUTE_NAMES, ROUTES  # noqa: E402
 
 #: Directories never scanned for Markdown.
 SKIP_DIRS = {".git", ".simcache", ".repro-journal", "results",
              "node_modules", "__pycache__"}
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Backticked endpoint references: `` `GET /jobs/<id>/result` ``.
+_ENDPOINT_RE = re.compile(
+    r"`((?:GET|POST|PUT|DELETE|PATCH|HEAD) /[^`]*)`"
+)
 
 #: Shared resolver instance (the contract is fixed for the process).
 _RESOLVER = MetricNameResolver(SPECS, EVENT_KINDS)
@@ -112,12 +128,85 @@ def check_reference_complete(root: Path) -> list[str]:
     return problems
 
 
+def check_endpoint_tokens(md: Path, root: Path) -> list[str]:
+    """Backticked ``METHOD /path`` tokens that match no declared route."""
+    problems = []
+    text = md.read_text(encoding="utf-8")
+    for match in _ENDPOINT_RE.finditer(text):
+        token = match.group(1)
+        if token not in ROUTE_NAMES:
+            problems.append(
+                f"{md.relative_to(root)}: endpoint `{token}` matches no "
+                f"route in repro.serve.routes.ROUTES"
+            )
+    return problems
+
+
+def check_routes_documented(root: Path) -> list[str]:
+    """Every declared route appears in the API reference docs/serve.md."""
+    ref = root / "docs" / "serve.md"
+    if not ref.exists():
+        return ["docs/serve.md is missing"]
+    text = ref.read_text(encoding="utf-8")
+    problems = []
+    for spec in ROUTES:
+        if f"`{spec.rendered()}`" not in text:
+            problems.append(
+                f"docs/serve.md: declared route `{spec.rendered()}` "
+                f"is undocumented"
+            )
+    return problems
+
+
+def cli_subcommands(root: Path) -> list[str]:
+    """Subcommand names registered in cli.py, via AST (no imports).
+
+    The CLI module imports numpy transitively and the docs CI job
+    installs no third-party packages, so the names are read from the
+    source text: every ``<x>.add_parser("name", ...)`` call.
+    """
+    import ast
+
+    source = (root / "src" / "repro" / "cli.py").read_text(encoding="utf-8")
+    names = []
+    for node in ast.walk(ast.parse(source)):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_parser"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            names.append(node.args[0].value)
+    return sorted(set(names))
+
+
+def check_cli_commands_documented(root: Path) -> list[str]:
+    """Every CLI subcommand is mentioned in README.md."""
+    readme = root / "README.md"
+    if not readme.exists():
+        return ["README.md is missing"]
+    text = readme.read_text(encoding="utf-8")
+    problems = []
+    for name in cli_subcommands(root):
+        if (f"`repro {name}`" not in text
+                and f"python -m repro {name}" not in text):
+            problems.append(
+                f"README.md: CLI subcommand `{name}` (registered in "
+                f"src/repro/cli.py) is missing from the quick-start — "
+                f"mention it as `repro {name}` or `python -m repro {name}`"
+            )
+    return problems
+
+
 def run_checks(root: Path) -> list[str]:
     problems: list[str] = []
     for md in markdown_files(root):
         problems.extend(check_links(md, root))
         problems.extend(check_metric_tokens(md, root))
+        problems.extend(check_endpoint_tokens(md, root))
     problems.extend(check_reference_complete(root))
+    problems.extend(check_routes_documented(root))
+    problems.extend(check_cli_commands_documented(root))
     return problems
 
 
@@ -131,8 +220,9 @@ def main(argv: list[str]) -> int:
         return 1
     n = len(markdown_files(root))
     print(f"docs ok: {n} markdown files, "
-          f"{len(SPECS)} metrics + {len(EVENT_KINDS)} event kinds "
-          f"cross-checked.")
+          f"{len(SPECS)} metrics + {len(EVENT_KINDS)} event kinds + "
+          f"{len(ROUTES)} routes + {len(cli_subcommands(root))} CLI "
+          f"subcommands cross-checked.")
     return 0
 
 
