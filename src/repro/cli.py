@@ -113,7 +113,15 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    """Run one workload under full observation and export the trace."""
+    """Two modes: assemble a distributed trace from a traced batch's
+    artifacts (--job/--journal, docs/tracing.md), or run one workload
+    under full observation and export its kernel trace."""
+    if args.job or args.batch_journal:
+        return _cmd_trace_assemble(args)
+    if not args.workload:
+        print("repro trace: a workload (or --job/--journal) is required",
+              file=sys.stderr)
+        return 2
     cfg = _resolve_config(args.system, args.rdc_gb)
     obs = Observability(
         trace=True, ring=args.ring, sample_every=args.sample
@@ -138,6 +146,43 @@ def _cmd_trace(args) -> int:
             extra={"workload": args.workload, "system": args.system},
         )
         print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_trace_assemble(args) -> int:
+    """Merge journal + span spills into one Perfetto timeline."""
+    from repro.obs.assemble import assemble_trace, write_trace
+
+    if args.batch_journal:
+        journal = Path(args.batch_journal)
+    else:
+        # A job id is job-NNNN-<key prefix>; its journal lives in the
+        # serve store under the full CAS key.
+        prefix = args.job.rsplit("-", 1)[-1] if args.job.startswith("job-") \
+            else args.job
+        matches = sorted(
+            Path(args.store).glob(f"journals/{prefix}*.jsonl")
+        )
+        if len(matches) != 1:
+            found = ", ".join(p.stem for p in matches) or "none"
+            print(f"repro trace: {len(matches)} journal(s) match job "
+                  f"{args.job!r} under {args.store} (found: {found})",
+                  file=sys.stderr)
+            return 1
+        journal = matches[0]
+    if not journal.exists():
+        print(f"repro trace: no journal at {journal}", file=sys.stderr)
+        return 1
+    doc = assemble_trace(journal, title=args.job or journal.stem)
+    out = args.out or f"{journal.stem}.trace.json"
+    write_trace(out, doc)
+    meta = doc["otherData"]
+    print(f"{meta['spans']} span(s) assembled from {journal} "
+          f"(trace {meta['trace_id'] or '<none>'}, "
+          f"{meta['unfinished_spans']} unfinished, "
+          f"{meta['damaged_span_records']} damaged)")
+    print(f"Perfetto trace written to {out} — open at "
+          f"https://ui.perfetto.dev")
     return 0
 
 
@@ -180,6 +225,11 @@ def _cmd_suite(args) -> int:
     )
     rdc_bytes = int(args.rdc_gb * 2**30) if args.rdc_gb else 2 * 2**30
     registry = default_registry() if args.metrics_out else None
+    trace_ctx = None
+    if args.trace:
+        from repro.obs.trace import TraceContext, spans_dir_for
+
+        trace_ctx = TraceContext.mint()
     run = E.run_suite(
         args.system,
         workloads=args.workloads,
@@ -187,6 +237,7 @@ def _cmd_suite(args) -> int:
         use_cache=not args.no_cache,
         runner=policy,
         registry=registry,
+        trace=trace_ctx,
     )
     rows = []
     for abbr in (args.workloads or suite.all_abbrs()):
@@ -201,6 +252,10 @@ def _cmd_suite(args) -> int:
         ["workload", "time", "status"],
         rows, title=f"{args.system} suite (journal: {journal})",
     ))
+    if trace_ctx is not None:
+        print(f"trace {trace_ctx.trace_id}: spans spilled to "
+              f"{spans_dir_for(journal)}; assemble with "
+              f"`python -m repro trace --journal {journal}`")
     if registry is not None:
         from repro.obs.summary import summarize_result
 
@@ -249,6 +304,7 @@ def _cmd_chaos(args) -> int:
         rounds=args.rounds,
         jobs=args.jobs,
         pin=args.pin,
+        trace=not args.no_trace,
     )
     print(report.render())
     if report.ok and not explicit_dir:
@@ -450,6 +506,8 @@ def _cmd_serve(args) -> int:
             store_dir=args.store,
             pool_jobs=args.jobs,
             queue_depth=args.queue_depth,
+            store_max_bytes=args.store_max_bytes,
+            pool_pin=args.pin,
         ))
     except KeyboardInterrupt:
         print("repro serve: interrupted, shutting down")
@@ -496,10 +554,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace_p = sub.add_parser(
         "trace",
-        help="run one workload with tracing on; export a Perfetto-"
-             "loadable Chrome trace",
+        help="assemble a batch's distributed trace (--job/--journal), "
+             "or run one workload with tracing on; either way the "
+             "output is a Perfetto-loadable Chrome trace",
     )
-    trace_p.add_argument("workload", choices=suite.all_abbrs())
+    trace_p.add_argument("workload", nargs="?", default=None,
+                         choices=suite.all_abbrs())
+    trace_p.add_argument("--job", default=None, metavar="ID",
+                         help="assemble the timeline of one serve job "
+                              "(by job id or CAS key prefix) from "
+                              "--store")
+    trace_p.add_argument("--store", default=".repro-serve", metavar="DIR",
+                         help="serve store to resolve --job against "
+                              "(default: .repro-serve)")
+    trace_p.add_argument("--journal", dest="batch_journal", default=None,
+                         metavar="PATH",
+                         help="assemble the timeline of a suite batch "
+                              "from its journal (spans are found next "
+                              "to it)")
     trace_p.add_argument("--system", default=E.CARVE_HWC,
                          choices=sorted(E.experiment_configs()))
     trace_p.add_argument("--rdc-gb", type=float, default=None,
@@ -562,6 +634,11 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p.add_argument("--resume", action="store_true",
                          help="skip points the journal records as done")
     suite_p.add_argument("--no-cache", action="store_true")
+    suite_p.add_argument("--trace", action="store_true",
+                         help="mint a distributed-trace context and "
+                              "spill spans next to the journal "
+                              "(docs/tracing.md); results are "
+                              "byte-identical either way")
     suite_p.add_argument("--metrics-out", default=None, metavar="PATH",
                          help="write runner counters + per-workload metric "
                               "summaries as JSON")
@@ -590,6 +667,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: 2; 1 drills the inline path)")
     chaos_p.add_argument("--pin", action="store_true",
                          help="NUMA-pin the chaos rounds' pool workers")
+    chaos_p.add_argument("--no-trace", action="store_true",
+                         help="run the chaos rounds without span tracing "
+                              "(disables the flight recorder)")
     chaos_p.add_argument("--dir", default=None, metavar="DIR",
                          help="drill workspace (kept afterwards; default: "
                               "a tmp dir, removed when the drill passes)")
@@ -695,6 +775,13 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="DIR",
                          help="content-addressed result store + "
                               "per-job journals (default: .repro-serve)")
+    serve_p.add_argument("--store-max-bytes", type=int, default=None,
+                         metavar="N",
+                         help="bound the store; least-recently-used "
+                              "entries (result + journal + spans) are "
+                              "evicted past N bytes (default: unbounded)")
+    serve_p.add_argument("--pin", action="store_true",
+                         help="NUMA-pin the simulator pool workers")
     serve_p.set_defaults(fn=_cmd_serve)
 
     report_p = sub.add_parser(

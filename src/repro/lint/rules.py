@@ -118,11 +118,13 @@ class WallClockRule(Rule):
              "sim/", "obs/", "serve/")
     #: Modules whose entire purpose is wall-clock orchestration:
     #: the runner's timeouts/backoff, the chaos drill's hang injection,
-    #: and the job service's latency metrics + client-facing timestamps
+    #: the job service's latency metrics + client-facing timestamps
     #: (serve/jobs.py) and client-side polling deadlines
-    #: (serve/client.py) — none of which feed simulation results.
+    #: (serve/client.py), and the distributed-trace spill (obs/trace.py),
+    #: whose span records are timestamped observability metadata — none
+    #: of which feed simulation results.
     ALLOWLIST = ("sim/runner.py", "sim/chaos.py", "serve/jobs.py",
-                 "serve/client.py")
+                 "serve/client.py", "obs/trace.py")
 
     BANNED = frozenset({
         "time.time", "time.time_ns",

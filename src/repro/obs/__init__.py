@@ -62,6 +62,7 @@ from repro.obs.registry import (
     MetricsRegistry,
 )
 from repro.obs.summary import summarize_result
+from repro.obs.trace import SpanSpill, TraceContext
 from repro.obs.tracer import Tracer
 
 __all__ = [
@@ -76,6 +77,8 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "SPECS",
+    "SpanSpill",
+    "TraceContext",
     "TraceEvent",
     "Tracer",
     "default_registry",

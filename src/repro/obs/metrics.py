@@ -176,10 +176,25 @@ SPECS: tuple = (
                "Corrupt CAS result files (bad checksum, decode failure, "
                "or key mismatch) quarantined to *.corrupt; the config "
                "re-runs on next submission.", "repro infra"),
+    MetricSpec("serve.store_evicted", KIND_COUNTER, "results", (),
+               "CAS results (and their journals/sidecars/spans) evicted "
+               "by the --store-max-bytes LRU sweep.", "repro infra"),
     # -- tracer self-accounting ------------------------------------------
     MetricSpec("trace.dropped", KIND_COUNTER, "events", (),
                "Events evicted from the tracer ring buffer (capacity "
                "overflow).", "repro infra"),
+    # -- distributed tracing (docs/tracing.md) ---------------------------
+    MetricSpec("trace.spans", KIND_COUNTER, "records", (),
+               "Span records (begin/end edges each count once) written "
+               "to the crash-safe spill files of a traced batch.",
+               "repro infra"),
+    MetricSpec("trace.spill_bytes", KIND_COUNTER, "bytes", (),
+               "Bytes appended to span spill files by a traced batch "
+               "(runner + all worker spills).", "repro infra"),
+    MetricSpec("trace.dropped_spans", KIND_COUNTER, "records", (),
+               "Span records lost to spill write failures (full disk, "
+               "permissions) — tracing degrades, the run itself never "
+               "fails.", "repro infra"),
     # -- obs self-accounting ---------------------------------------------
     MetricSpec("obs.digest_errors", KIND_COUNTER, "failures", (),
                "Result digest computations that raised and were skipped "
@@ -205,6 +220,10 @@ SPECS: tuple = (
     MetricSpec("serve.queue_depth", KIND_GAUGE, "jobs", (),
                "Jobs waiting in the service's bounded submission queue "
                "(excludes the one currently executing).", "repro infra"),
+    MetricSpec("serve.stream_clients", KIND_GAUGE, "clients", (),
+               "Long-poll clients currently parked on "
+               "GET /jobs/<id>/events waiting for new job events.",
+               "repro infra"),
     # -- histograms ------------------------------------------------------
     MetricSpec("kernel.accesses", KIND_HISTOGRAM, "accesses", (),
                "Distribution of access counts across kernels.",

@@ -46,11 +46,14 @@ class Observability:
         ring: int = DEFAULT_CAPACITY,
         sample_every: int = 1,
         sample_overrides: Optional[dict] = None,
+        context=None,
+        spill=None,
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
         self.tracer = tracer if tracer is not None else Tracer(
             ring, enabled=trace, sample_every=sample_every,
-            sample_overrides=sample_overrides,
+            sample_overrides=sample_overrides, context=context,
+            spill=spill,
         )
         r = self.registry
         # Cached handles: end_kernel runs once per kernel but touches ~20
@@ -96,6 +99,9 @@ class Observability:
         self._rdc_stale_base: dict = {}
         self._imst_base: dict = {}
         self._dropped_synced = 0
+        #: Open per-kernel span context (distributed tracing attached).
+        self._kernel_ctx = None
+        self._spill_synced = (0, 0, 0)
 
     # -- kernel lifecycle -----------------------------------------------
 
@@ -106,6 +112,11 @@ class Observability:
             self.tracer.record(
                 ev.EVENT_KERNEL, kernel=kernel_index,
                 kernel_id=kernel_id, phase="begin",
+            )
+        if self.tracer.span_capable:
+            self._kernel_ctx = self.tracer.span_begin(
+                f"kernel:{kernel_index}", kernel=kernel_index,
+                kernel_id=kernel_id,
             )
 
     def end_kernel(self, ks, system) -> None:
@@ -218,6 +229,12 @@ class Observability:
                 kernel_id=ks.kernel_id, phase="end", accesses=total,
                 warmup=ks.warmup,
             )
+        if self._kernel_ctx is not None:
+            tracer.span_end(
+                self._kernel_ctx, f"kernel:{kern}", kernel=kern,
+                accesses=total,
+            )
+            self._kernel_ctx = None
         self.registry.end_kernel()
         self._kernel = -1
 
@@ -299,6 +316,17 @@ class Observability:
         if new_drops:
             self._c_dropped.inc(new_drops)
             self._dropped_synced = self.tracer.dropped
+        spill = self.tracer.spill
+        if spill is not None:
+            now = (spill.spans, spill.bytes_written, spill.dropped)
+            base = self._spill_synced
+            deltas = tuple(n - b for n, b in zip(now, base))
+            names = ("trace.spans", "trace.spill_bytes",
+                     "trace.dropped_spans")
+            for name, delta in zip(names, deltas):
+                if delta:
+                    self.registry.get(name).inc(delta)
+            self._spill_synced = now
 
 
 __all__ = ["Observability"]

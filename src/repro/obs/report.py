@@ -153,6 +153,18 @@ def _digest_cells(metrics: Optional[dict]) -> list[str]:
     return [_fmt(metrics.get(col, "-")) for col in _DIGEST_COLUMNS]
 
 
+def _trace_cell(meta: dict) -> str:
+    """The provenance trace cell: the batch's trace id, linked to the
+    assembled timeline (``repro trace --journal`` writes it next to the
+    report; the serve dashboard serves it at the sibling ``trace``
+    route)."""
+    trace_id = meta.get("trace_id")
+    if not trace_id:
+        return "-"
+    stem = Path(str(meta.get("journal", "journal"))).stem
+    return f"[{trace_id}]({stem}.trace.json)"
+
+
 def provenance_section(metas: list[dict]) -> str:
     lines = ["## Provenance", ""]
     if not metas:
@@ -160,11 +172,11 @@ def provenance_section(metas: list[dict]) -> str:
         return "\n".join(lines)
     rows = [
         [m.get("journal", "-"), m.get("code_version", "-"),
-         m.get("git_sha") or "-", m.get("python", "-")]
+         m.get("git_sha") or "-", m.get("python", "-"), _trace_cell(m)]
         for m in metas
     ]
     lines.append(_md_table(
-        ["journal", "code version", "git sha", "python"], rows
+        ["journal", "code version", "git sha", "python", "trace"], rows
     ))
     return "\n".join(lines)
 
@@ -365,8 +377,17 @@ def markdown_to_html(md: str, title: str = "repro report") -> str:
     """A minimal, dependency-free markdown renderer (headings, tables,
     emphasis-free paragraphs).  Good enough for CI artefact viewing; use
     the markdown output for anything richer."""
+    import re
+
     body: list[str] = []
     table: list[str] = []
+    link_re = re.compile(r"\[([^\]]+)\]\(([^)\s]+)\)")
+
+    def render_text(text: str) -> str:
+        """Escape, then rewrite ``[text](href)`` markdown links."""
+        return link_re.sub(
+            r"<a href='\2'>\1</a>", html.escape(text)
+        )
 
     def flush_table() -> None:
         if not table:
@@ -381,7 +402,7 @@ def markdown_to_html(md: str, title: str = "repro report") -> str:
             tag = "th" if i == 0 else "td"
             body.append(
                 "<tr>" + "".join(
-                    f"<{tag}>{html.escape(c).replace('**', '')}</{tag}>"
+                    f"<{tag}>{render_text(c).replace('**', '')}</{tag}>"
                     for c in cells
                 ) + "</tr>"
             )
@@ -399,9 +420,9 @@ def markdown_to_html(md: str, title: str = "repro report") -> str:
             text = html.escape(stripped.lstrip("#").strip())
             body.append(f"<h{level}>{text}</h{level}>")
         elif stripped.startswith("- "):
-            body.append(f"<li>{html.escape(stripped[2:])}</li>")
+            body.append(f"<li>{render_text(stripped[2:])}</li>")
         elif stripped:
-            body.append(f"<p>{html.escape(stripped)}</p>")
+            body.append(f"<p>{render_text(stripped)}</p>")
     flush_table()
     return (
         "<!doctype html><html><head><meta charset='utf-8'>"

@@ -22,7 +22,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterator, Optional
 
-from repro.obs.events import TraceEvent
+from repro.obs.events import EVENT_SPAN_BEGIN, EVENT_SPAN_END, TraceEvent
+from repro.obs.trace import SpanSpill, TraceContext
 
 DEFAULT_CAPACITY = 65_536
 
@@ -34,11 +35,19 @@ class Tracer:
     stride (1 = keep everything); ``sample_overrides`` maps event kind to
     a per-kind stride.  A disabled tracer drops everything (and records
     nothing, not even drops).
+
+    Distributed tracing (docs/tracing.md) attaches two optionals:
+    ``context`` (the process's :class:`TraceContext` — span methods
+    derive children from it) and ``spill`` (a :class:`SpanSpill` that
+    mirrors span edges to the crash-safe file).  Both default off, so
+    a plain metrics/ring tracer pays nothing new.
     """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY, *,
                  enabled: bool = True, sample_every: int = 1,
-                 sample_overrides: Optional[dict] = None) -> None:
+                 sample_overrides: Optional[dict] = None,
+                 context: Optional[TraceContext] = None,
+                 spill: Optional[SpanSpill] = None) -> None:
         if capacity < 1:
             raise ValueError("tracer capacity must be >= 1")
         if sample_every < 1:
@@ -47,6 +56,8 @@ class Tracer:
         self.capacity = capacity
         self.sample_every = sample_every
         self.sample_overrides = dict(sample_overrides or {})
+        self.context = context
+        self.spill = spill
         self._ring: deque = deque(maxlen=capacity)
         self._seen: dict = {}
         #: Events evicted from the ring by overflow (not sampling skips).
@@ -93,6 +104,52 @@ class Tracer:
         if not self.enabled or not count:
             return
         self._push(TraceEvent(kind, kernel, gpu, count, payload))
+
+    # -- distributed spans (docs/tracing.md) -----------------------------
+
+    @property
+    def span_capable(self) -> bool:
+        """True when span methods would actually record something."""
+        return self.context is not None and \
+            (self.enabled or self.spill is not None)
+
+    def span_begin(self, name: str, *, key: str = "", kernel: int = -1,
+                   **payload) -> Optional[TraceContext]:
+        """Open a child span of :attr:`context` named *name*.
+
+        Returns the child's context (pass it to :meth:`span_end`), or
+        ``None`` when span tracing is off.  The begin edge lands in the
+        ring (kind ``span.begin``) and, when a spill is attached, is
+        flushed to disk before this returns — a crash after this call
+        still leaves the span visible to the flight recorder.
+        """
+        if not self.span_capable:
+            return None
+        ctx = self.context.child(name)
+        if self.enabled:
+            self._push(TraceEvent(
+                EVENT_SPAN_BEGIN, kernel, -1, 1,
+                {"name": name, "key": key, "span": ctx.span_id, **payload},
+            ))
+        if self.spill is not None:
+            self.spill.span_begin(ctx, name, key=key, **payload)
+        return ctx
+
+    def span_end(self, ctx: Optional[TraceContext], name: str, *,
+                 key: str = "", kernel: int = -1, status: str = "ok",
+                 **payload) -> None:
+        """Close a span opened by :meth:`span_begin` (no-op on None)."""
+        if ctx is None or not self.span_capable:
+            return
+        if self.enabled:
+            self._push(TraceEvent(
+                EVENT_SPAN_END, kernel, -1, 1,
+                {"name": name, "key": key, "span": ctx.span_id,
+                 "status": status, **payload},
+            ))
+        if self.spill is not None:
+            self.spill.span_end(ctx, name, key=key, status=status,
+                                **payload)
 
     def clear(self) -> None:
         self._ring.clear()

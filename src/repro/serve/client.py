@@ -99,6 +99,18 @@ class ServeClient:
     def report(self, job_id: str) -> ServeResponse:
         return self.request("GET", f"/jobs/{job_id}/report")
 
+    def events(self, job_id: str, since: int = 0,
+               wait: float = 0.0) -> ServeResponse:
+        """``GET /jobs/<id>/events`` — long-poll when *wait* > 0."""
+        query = f"since={since}"
+        if wait > 0:
+            query += f"&wait={wait}"
+        return self.request("GET", f"/jobs/{job_id}/events?{query}")
+
+    def trace(self, job_id: str) -> ServeResponse:
+        """``GET /jobs/<id>/trace`` — the assembled Perfetto document."""
+        return self.request("GET", f"/jobs/{job_id}/trace")
+
     def healthz(self) -> ServeResponse:
         return self.request("GET", "/healthz")
 

@@ -26,6 +26,7 @@ resubmitting the same config after a failure re-runs it.
 from __future__ import annotations
 
 import asyncio
+import functools
 
 # Wall-clock reads in this module are service telemetry (job latency,
 # timestamps shown to clients) — they never feed simulation results.
@@ -36,6 +37,7 @@ from typing import Optional
 
 from repro.obs.baseline import environment_fingerprint
 from repro.obs.summary import summarize_result
+from repro.obs.trace import TraceContext
 from repro.serve.store import ResultStore, cas_key
 from repro.sim.cache import CODE_VERSION
 from repro.sim.experiments import GB, config_for, experiment_configs, run_suite
@@ -187,10 +189,20 @@ class Job:
     failures: dict = field(default_factory=dict)
     cancelled_workloads: list = field(default_factory=list)
     error: Optional[str] = None
+    #: The job's distributed-trace root (docs/tracing.md); None for
+    #: cache hits, which never execute.
+    trace: Optional[TraceContext] = None
+    #: Lifecycle + per-point events, in emission order, each carrying a
+    #: monotonically increasing ``seq`` — the long-poll stream's source.
+    events: list = field(default_factory=list)
 
     @property
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self.trace.trace_id if self.trace is not None else None
 
     def status_payload(self) -> dict:
         payload = {
@@ -202,6 +214,8 @@ class Job:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "trace_id": self.trace_id,
+            "events": len(self.events),
         }
         if self.failures:
             payload["failures"] = self.failures
@@ -213,16 +227,21 @@ class Job:
 
 
 def execute_request(request: JobRequest, journal_path, pool_jobs: int,
-                    registry=None) -> tuple:
+                    registry=None, *, trace: Optional[TraceContext] = None,
+                    on_event=None, pin: bool = False) -> tuple:
     """Run one request on the worker fabric (blocking).
 
     Returns ``(payload, suite_run)``: the JSON-safe result payload and
     the raw :class:`~repro.sim.experiments.SuiteRun` (whose ``ok`` flag
     decides done vs failed and whether the payload enters the CAS).
+    *trace* roots the batch's distributed trace (docs/tracing.md) and
+    *on_event* receives per-point completion events — both purely
+    observational; *pin* NUMA-pins the pool workers.
     """
     t0 = time.monotonic()  # service latency only — never a sim input
     policy = RunnerPolicy(
         jobs=pool_jobs,
+        pin=pin,
         timeout_s=request.timeout_s,
         retries=request.retries,
         keep_going=True,
@@ -235,13 +254,18 @@ def execute_request(request: JobRequest, journal_path, pool_jobs: int,
         use_cache=request.use_cache,
         runner=policy,
         registry=registry,
+        trace=trace,
+        on_event=on_event,
     )
     elapsed = time.monotonic() - t0
     payload = {
         "system": request.system,
         "workloads": list(request.workloads),
         "rdc_gb": request.rdc_gb,
-        "fingerprint": environment_fingerprint(config=run.config),
+        "fingerprint": environment_fingerprint(
+            config=run.config,
+            trace_id=trace.trace_id if trace is not None else None,
+        ),
         "ok": run.ok,
         "elapsed_s": elapsed,
         "results": {
@@ -275,9 +299,10 @@ class JobService:
 
     def __init__(self, store: ResultStore, *, pool_jobs: int = 2,
                  queue_depth: int = 8, registry=None,
-                 retry_after_s: int = 5):
+                 retry_after_s: int = 5, pool_pin: bool = False):
         self.store = store
         self.pool_jobs = pool_jobs
+        self.pool_pin = pool_pin
         self.queue_depth = queue_depth
         self.registry = registry
         self.retry_after_s = retry_after_s
@@ -287,6 +312,10 @@ class JobService:
         self._seq = 0
         self._accepting = False
         self._executor_task: Optional[asyncio.Task] = None
+        # Long-poll plumbing: one shared Event per job id, swapped out
+        # on every emission so all waiters wake (docs/tracing.md).
+        self._signals: dict = {}     # job id -> asyncio.Event
+        self._stream_clients = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -339,6 +368,7 @@ class JobService:
         active = self._active.get(key)
         if active is not None and not active.terminal:
             self._count("serve.coalesced")
+            self._emit(active, "job.coalesced")
             return active, DISP_COALESCED
 
         cached = self.store.load(key)
@@ -349,9 +379,13 @@ class JobService:
             job.result = cached
             job.finished_at = job.submitted_at
             self._count_completed(DONE)
+            self._emit(job, "job.cached", key=key)
             return job, DISP_CACHED
 
         job = self._new_job(key, request, dedup=DISP_NEW)
+        # New executions get a trace root; its id threads through the
+        # runner into every worker span and the journal meta record.
+        job.trace = TraceContext.mint()
         try:
             self._queue.put_nowait(job)
         except asyncio.QueueFull:
@@ -363,6 +397,7 @@ class JobService:
             ) from None
         self._active[key] = job
         self._set_queue_gauge()
+        self._emit(job, "job.queued", trace_id=job.trace_id)
         return job, DISP_NEW
 
     def get(self, job_id: str) -> Optional[Job]:
@@ -393,11 +428,24 @@ class JobService:
     async def _execute(self, job: Job) -> None:
         job.state = RUNNING
         job.started_at = time.time()  # client-facing timestamp only
+        self._emit(job, "job.running")
         journal_path = self.store.journal_path(job.key)
+        loop = asyncio.get_running_loop()
+
+        def forward(event: dict) -> None:
+            # Runs on the executor thread: hop back to the loop thread,
+            # where all job-state mutation (and waiter wakeup) lives.
+            data = dict(event)
+            kind = data.pop("kind", "point")
+            loop.call_soon_threadsafe(
+                functools.partial(self._emit, job, kind, **data)
+            )
+
         try:
             payload, run = await asyncio.to_thread(
                 execute_request, job.request, journal_path,
                 self.pool_jobs, self.registry,
+                trace=job.trace, on_event=forward, pin=self.pool_pin,
             )
         except Exception as exc:  # config/runner blew up, not a point
             job.error = f"{type(exc).__name__}: {exc}"
@@ -442,6 +490,61 @@ class JobService:
         self._count_completed(state)
         if job.started_at is not None and state in (DONE, FAILED):
             self._observe_latency(job.finished_at - job.started_at)
+        self._emit(job, f"job.{state}")
+
+    # -- event streaming -------------------------------------------------
+
+    def _emit(self, job: Job, kind: str, **data) -> None:
+        """Append one event to the job's log and wake all waiters.
+
+        Loop-thread only (the executor thread forwards through
+        ``call_soon_threadsafe``).  The signal is popped, not cleared:
+        every current waiter wakes off the old Event, the next waiter
+        lazily creates a fresh one.
+        """
+        job.events.append({
+            "seq": len(job.events) + 1,
+            "ts": time.time(),  # client-facing timestamp only
+            "kind": kind,
+            **data,
+        })
+        signal = self._signals.pop(job.id, None)
+        if signal is not None:
+            signal.set()
+
+    async def wait_events(self, job: Job, since: int = 0,
+                          timeout_s: float = 0.0) -> list:
+        """Events with ``seq > since``, long-polling up to *timeout_s*.
+
+        Returns immediately when fresh events exist or the job is
+        terminal (no more events will ever come); otherwise parks on
+        the job's signal.  An empty list means "nothing yet — poll
+        again with the same ``since``".
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(0.0, timeout_s)
+        self._stream_clients += 1
+        self._set_stream_gauge()
+        try:
+            while True:
+                fresh = [e for e in job.events if e["seq"] > since]
+                if fresh or job.terminal:
+                    return fresh
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    return []
+                signal = self._signals.setdefault(job.id, asyncio.Event())
+                try:
+                    await asyncio.wait_for(signal.wait(), remaining)
+                except asyncio.TimeoutError:
+                    return []
+        finally:
+            self._stream_clients -= 1
+            self._set_stream_gauge()
+
+    @property
+    def stream_clients(self) -> int:
+        return self._stream_clients
 
     def _metric(self, name: str):
         from repro.obs.metrics import spec_for
@@ -459,6 +562,10 @@ class JobService:
     def _set_queue_gauge(self) -> None:
         if self.registry is not None:
             self._metric("serve.queue_depth").set(self._queue.qsize())
+
+    def _set_stream_gauge(self) -> None:
+        if self.registry is not None:
+            self._metric("serve.stream_clients").set(self._stream_clients)
 
     def _observe_latency(self, seconds: float) -> None:
         if self.registry is not None:

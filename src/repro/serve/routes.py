@@ -67,6 +67,12 @@ ROUTES: tuple = (
     RouteSpec("GET", "/jobs/<id>/report", "job_report",
               "The HTML dashboard rendered from the job's execution "
               "journal."),
+    RouteSpec("GET", "/jobs/<id>/events", "job_events",
+              "Long-poll stream of job lifecycle and per-point "
+              "completion events."),
+    RouteSpec("GET", "/jobs/<id>/trace", "job_trace",
+              "The assembled Perfetto trace_event timeline of the "
+              "job's execution."),
     RouteSpec("GET", "/healthz", "healthz",
               "Liveness + queue occupancy snapshot."),
     RouteSpec("GET", "/metricsz", "metricsz",

@@ -19,8 +19,10 @@ drive a real socket without managing asyncio themselves.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import threading
+import urllib.parse
 from pathlib import Path
 from typing import Optional
 
@@ -39,6 +41,11 @@ from repro.serve.store import ResultStore
 
 #: Largest accepted request body; a suite config is a few hundred bytes.
 MAX_BODY_BYTES = 1 << 20
+
+#: Ceiling on one ``GET /jobs/<id>/events`` long-poll wait, seconds.
+#: Clients re-poll with the returned ``next`` cursor; capping the wait
+#: bounds how long a dead client can hold a connection open.
+MAX_EVENT_WAIT_S = 30.0
 
 _REASONS = {
     200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
@@ -127,6 +134,59 @@ class ServeApp:
         return 200, {"Content-Type": "text/html; charset=utf-8"}, \
             html.encode("utf-8")
 
+    async def job_events(self, params, body):
+        """Long-poll event stream (docs/tracing.md documents a session).
+
+        Query parameters: ``since`` (last seq already seen, default 0)
+        and ``wait`` (seconds to park when nothing is fresh, default 0,
+        capped at :data:`MAX_EVENT_WAIT_S`).  The response carries a
+        ``next`` cursor to pass as the following ``since``.
+        """
+        job = self.service.get(params["id"])
+        if job is None:
+            return 404, {}, {"error": f"no such job {params['id']!r}"}
+        try:
+            since = int(params.get("since", 0))
+            wait_s = float(params.get("wait", 0.0))
+        except (TypeError, ValueError):
+            return 400, {}, {
+                "error": "since/wait must be numeric query parameters"
+            }
+        wait_s = max(0.0, min(wait_s, MAX_EVENT_WAIT_S))
+        events = await self.service.wait_events(job, since=since,
+                                                timeout_s=wait_s)
+        next_seq = events[-1]["seq"] if events else since
+        return 200, {}, {
+            "id": job.id,
+            "state": job.state,
+            "trace_id": job.trace_id,
+            "next": next_seq,
+            "events": events,
+        }
+
+    def job_trace(self, params, body):
+        job = self.service.get(params["id"])
+        if job is None:
+            return 404, {}, {"error": f"no such job {params['id']!r}"}
+        journal = self.service.store.journal_path(job.key)
+        if not job.terminal or not journal.exists():
+            return 409, {}, {
+                "error": f"job {job.id} has no trace yet "
+                         f"(state: {job.state})",
+                "state": job.state,
+            }
+        # Lazy import, same rationale as job_report: assembly pulls in
+        # the analysis stack and only runs on demand.
+        from repro.obs.assemble import assemble_trace
+
+        doc = assemble_trace(
+            journal,
+            title=f"repro serve · {job.id} · {job.request.system}",
+            trace_id=job.trace_id,
+            serve_events=job.events,
+        )
+        return 200, {}, doc
+
     def healthz(self, params, body):
         return 200, {}, {
             "ok": True,
@@ -173,7 +233,7 @@ async def _handle_request(app: ServeApp, reader: asyncio.StreamReader):
         return 400, {}, {"error": f"malformed request line: "
                                   f"{request_line!r}"}
     method, target, _version = parts
-    path = target.split("?", 1)[0]
+    path, _, query = target.partition("?")
 
     content_length = 0
     while True:
@@ -207,8 +267,15 @@ async def _handle_request(app: ServeApp, reader: asyncio.StreamReader):
                               f"allowed: {', '.join(allowed)}"})
         return 404, {}, {"error": f"no route for {method} {path}"}
     spec, params = matched
+    # Query parameters merge under the path parameters (a path segment
+    # always wins over a same-named query key).
+    for key, value in urllib.parse.parse_qsl(query):
+        params.setdefault(key, value)
     handler = getattr(app, spec.name)
-    return handler(params, body_obj)
+    result = handler(params, body_obj)
+    if inspect.isawaitable(result):  # long-poll handlers are async
+        result = await result
+    return result
 
 
 def _write_response(writer: asyncio.StreamWriter, status: int,
@@ -231,17 +298,23 @@ async def serve(host: str, port: int, *, store_dir, pool_jobs: int = 2,
                 queue_depth: int = 8, registry=None,
                 ready: Optional[threading.Event] = None,
                 shutdown: Optional[asyncio.Event] = None,
-                bound_port: Optional[list] = None) -> None:
+                bound_port: Optional[list] = None,
+                store_max_bytes: Optional[int] = None,
+                pool_pin: bool = False) -> None:
     """Run the service until *shutdown* is set (or forever).
 
     *ready*/*bound_port* let a launcher learn the ephemeral port when
-    binding port 0 (tests, the bench harness).
+    binding port 0 (tests, the bench harness).  *store_max_bytes*
+    bounds the result store with LRU eviction; *pool_pin* NUMA-pins
+    the simulator workers.
     """
     if registry is None:
         registry = default_registry()
-    store = ResultStore(Path(store_dir), registry=registry)
+    store = ResultStore(Path(store_dir), registry=registry,
+                        max_bytes=store_max_bytes)
     service = JobService(store, pool_jobs=pool_jobs,
-                         queue_depth=queue_depth, registry=registry)
+                         queue_depth=queue_depth, registry=registry,
+                         pool_pin=pool_pin)
     app = ServeApp(service)
     await service.start()
     server = await asyncio.start_server(
@@ -275,7 +348,8 @@ class ThreadedServer:
 
     def __init__(self, store_dir, *, host: str = "127.0.0.1",
                  port: int = 0, pool_jobs: int = 1, queue_depth: int = 8,
-                 registry=None):
+                 registry=None, store_max_bytes: Optional[int] = None,
+                 pool_pin: bool = False):
         self.store_dir = Path(store_dir)
         self.host = host
         self.registry = registry if registry is not None \
@@ -283,6 +357,8 @@ class ThreadedServer:
         self._requested_port = port
         self._pool_jobs = pool_jobs
         self._queue_depth = queue_depth
+        self._store_max_bytes = store_max_bytes
+        self._pool_pin = pool_pin
         self._ready = threading.Event()
         self._bound: list = []
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -312,6 +388,8 @@ class ThreadedServer:
                     ready=self._ready,
                     shutdown=self._shutdown,
                     bound_port=self._bound,
+                    store_max_bytes=self._store_max_bytes,
+                    pool_pin=self._pool_pin,
                 ))
             finally:
                 self._loop.close()
@@ -337,6 +415,7 @@ class ThreadedServer:
 
 __all__ = [
     "MAX_BODY_BYTES",
+    "MAX_EVENT_WAIT_S",
     "ServeApp",
     "ThreadedServer",
     "serve",

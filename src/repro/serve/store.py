@@ -22,11 +22,19 @@ On disk the store mirrors the journal-v2 durability posture:
   and treated as a miss — corruption costs a re-run, never a crash or a
   silently wrong cache hit.
 
+The store can be **bounded** (``max_bytes``): when the total footprint
+exceeds the bound, whole entries — result envelope plus journal plus
+span spills — are evicted least-recently-*used* first (``load`` touches
+the result file's mtime), at startup and after every write.  Evictions
+count on ``serve.store_evicted``; the CAS re-runs an evicted config on
+its next submission, so eviction costs time, never correctness.
+
 Layout under the store root::
 
     store/
       results/<key>.json       checksummed result envelopes (the CAS)
       journals/<key>.jsonl     execution journal per job (report source)
+      journals/<key>-spans/    span spills of the job's trace
 """
 
 from __future__ import annotations
@@ -34,11 +42,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import uuid
 import warnings
 from pathlib import Path
 from typing import Optional
 
+from repro.obs.trace import spans_dir_for
 from repro.sim.journal import record_checksum
 
 ENVELOPE_KIND = "repro.serve_result"
@@ -73,7 +83,8 @@ def cas_key(*, config_hash: str, code_version: int, system: str,
 class ResultStore:
     """On-disk CAS of completed job results, keyed by :func:`cas_key`."""
 
-    def __init__(self, root, registry=None):
+    def __init__(self, root, registry=None,
+                 max_bytes: Optional[int] = None):
         self.root = Path(root)
         self.results_dir = self.root / "results"
         self.journals_dir = self.root / "journals"
@@ -81,6 +92,10 @@ class ResultStore:
         self.journals_dir.mkdir(parents=True, exist_ok=True)
         self._registry = registry
         self._warned_corrupt = False
+        self.max_bytes = max_bytes
+        # Startup GC: a restarted service honours a newly-lowered bound
+        # (or one it crashed past) before serving anything.
+        self._evict()
 
     # -- paths -----------------------------------------------------------
 
@@ -119,6 +134,7 @@ class ResultStore:
         finally:
             if tmp.exists():
                 tmp.unlink()
+        self._evict(protect=key)
         return target
 
     def load(self, key: str) -> Optional[dict]:
@@ -150,16 +166,88 @@ class ResultStore:
                     f"envelope key {envelope.get('key')!r} != file key "
                     f"{key!r}"
                 )
-            return envelope["payload"]
+            payload = envelope["payload"]
         except (ValueError, KeyError, OSError) as exc:
             self._quarantine(path, exc)
             return None
+        try:
+            os.utime(path)  # LRU touch: a hit is a use
+        except OSError:
+            pass
+        return payload
 
     def has(self, key: str) -> bool:
         return self.result_path(key).exists()
 
     def keys(self) -> list[str]:
         return sorted(p.stem for p in self.results_dir.glob("*.json"))
+
+    # -- bounded-store GC ------------------------------------------------
+
+    def _entry_paths(self, key: str) -> list[Path]:
+        """Everything one CAS entry owns on disk."""
+        return [
+            self.result_path(key),
+            self.journal_path(key),
+            spans_dir_for(self.journal_path(key)),
+        ]
+
+    def _entry_bytes(self, key: str) -> int:
+        total = 0
+        for path in self._entry_paths(key):
+            try:
+                if path.is_dir():
+                    total += sum(
+                        f.stat().st_size
+                        for f in path.rglob("*") if f.is_file()
+                    )
+                elif path.exists():
+                    total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def _evict(self, protect: Optional[str] = None) -> int:
+        """LRU-evict whole entries until the footprint fits the bound.
+
+        *protect* names a key never evicted (the one just written — a
+        bound smaller than a single result must not eat the result it
+        was asked to store).  Returns the number of entries evicted.
+        """
+        if self.max_bytes is None:
+            return 0
+        entries = []  # (last-use mtime, key, bytes)
+        for path in self.results_dir.glob("*.json"):
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            entries.append((mtime, path.stem, self._entry_bytes(path.stem)))
+        entries.sort()
+        total = sum(size for _, _, size in entries)
+        evicted = 0
+        for _, key, size in entries:
+            if total <= self.max_bytes:
+                break
+            if key == protect:
+                continue
+            for path in self._entry_paths(key):
+                try:
+                    if path.is_dir():
+                        shutil.rmtree(path, ignore_errors=True)
+                    elif path.exists():
+                        path.unlink()
+                except OSError:
+                    continue
+            total -= size
+            evicted += 1
+            if self._registry is not None:
+                from repro.obs.metrics import spec_for
+
+                self._registry.register(
+                    spec_for("serve.store_evicted")
+                ).inc()
+        return evicted
 
     # -- corruption handling ---------------------------------------------
 

@@ -557,6 +557,9 @@ class DrillReport:
     injected: list = field(default_factory=list)
     quarantined: int = 0
     scan: dict = field(default_factory=dict)
+    #: Flight-recorder digest: span-spill totals plus, per victim slot,
+    #: the final spans whose end edge never reached the disk.
+    flight: dict = field(default_factory=dict)
     #: Invariant violations; empty means the fabric survived the plan.
     problems: list = field(default_factory=list)
 
@@ -590,6 +593,21 @@ class DrillReport:
             f"checksum={self.scan.get('checksum_failures', 0)}; "
             f"{self.quarantined} sidecar(s) quarantined"
         )
+        if self.flight:
+            lines.append(
+                f"flight recorder: {self.flight.get('spans', 0)} span(s) "
+                f"spilled, {self.flight.get('damaged', 0)} damaged, "
+                f"{len(self.flight.get('victims', ()))} victim slot(s)"
+            )
+            for victim in self.flight.get("victims", ()):
+                tail = " -> ".join(
+                    f"{s['name']}[{s['key']}]" if s.get("key") else s["name"]
+                    for s in victim.get("spans", ())
+                ) or "<no spans>"
+                lines.append(
+                    f"  victim slot {victim.get('slot', -1):02d} "
+                    f"(node {victim.get('node', -1)}): {tail}"
+                )
         if self.ok:
             lines.append(
                 "PASS: results byte-identical to the fault-free serial "
@@ -625,6 +643,7 @@ def run_drill(
     round_timeout_s: float = 300.0,
     kill_window: tuple[float, float] = (0.75, 2.5),
     python: str = sys.executable,
+    trace: bool = True,
 ) -> DrillReport:
     """Run the crash drill; see the module docstring for the shape.
 
@@ -634,6 +653,11 @@ def run_drill(
     first resuming — then one plain ``--resume`` round with chaos
     disarmed, which must converge.  Each batch runs as a real
     ``python -m repro suite`` subprocess; nothing is mocked.
+
+    With *trace* (the default) the chaos rounds run ``--trace``, and
+    the report carries a **flight recorder**: the span spill survives
+    SIGKILL, so each victim's final spans — the ones whose end edge
+    never reached the disk — name what it was doing when it died.
     """
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
@@ -694,6 +718,8 @@ def run_drill(
             cmd.append("--resume")
         if pin_run:
             cmd.append("--pin")
+        if trace and journal == chaos_journal:
+            cmd.append("--trace")
         return cmd
 
     def run_round(label: str, cmd: list[str], env: dict,
@@ -785,7 +811,55 @@ def run_drill(
 
     _check_invariants(report, plan, state_dir, keys,
                       ref_journal, chaos_journal)
+    if trace:
+        _flight_record(report, chaos_journal)
     return report
+
+
+def _flight_record(report: DrillReport, chaos_journal: Path) -> None:
+    """Reconstruct each victim's final timeline from the span spill.
+
+    A SIGKILLed worker leaves ``B`` (begin) span records with no ``E``
+    edge — flushed before the fault site fired, so they survive the
+    kill.  Grouped by slot, the tail of those open spans is what each
+    victim was doing when it died.  Interior damage in the spill (a
+    record that decodes but fails its checksum) is an invariant
+    violation: kills may tear the *tail*, never the middle.
+    """
+    # Lazy import: sim.journal imports this module at top level, and
+    # repro.obs.trace imports sim.journal — a module-level import here
+    # would close the cycle.
+    from repro.obs.assemble import open_spans
+    from repro.obs.trace import read_spans_dir, spans_dir_for
+
+    records, damaged = read_spans_dir(spans_dir_for(chaos_journal))
+    by_slot: dict[int, list[dict]] = {}
+    for rec in open_spans(records):
+        slot = rec.get("slot", -1)
+        if isinstance(slot, int) and slot >= 0:
+            by_slot.setdefault(slot, []).append(rec)
+    victims = []
+    for slot in sorted(by_slot):
+        last = by_slot[slot][-5:]
+        victims.append({
+            "slot": slot,
+            "node": last[-1].get("node", -1),
+            "spans": [
+                {"name": r.get("name", ""), "key": r.get("key", ""),
+                 "ts": r.get("ts", 0.0)}
+                for r in last
+            ],
+        })
+    report.flight = {
+        "spans": len(records),
+        "damaged": damaged,
+        "victims": victims,
+    }
+    if damaged:
+        report.problems.append(
+            f"{damaged} damaged span record(s) in the spill — a crash "
+            "may tear the tail, never the interior"
+        )
 
 
 def _check_invariants(

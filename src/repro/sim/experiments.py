@@ -129,6 +129,8 @@ def run_suite(
     use_cache: bool = True,
     runner: Optional[RunnerPolicy] = None,
     registry=None,
+    trace=None,
+    on_event=None,
 ) -> SuiteRun:
     """Run one named configuration across the workload list.
 
@@ -139,7 +141,10 @@ def run_suite(
     serial in-process path runs unchanged (bit-identical results).
 
     *registry* (a :class:`repro.obs.registry.MetricsRegistry`, runner
-    path only) collects the ``runner.*`` lifecycle counters.
+    path only) collects the ``runner.*`` lifecycle counters.  *trace*
+    (a :class:`repro.obs.TraceContext`) and *on_event* (a per-point
+    completion callback) thread straight through to
+    :func:`repro.sim.runner.run_tasks` — see docs/tracing.md.
     """
     config = config_for(config_name, base, rdc_bytes)
     names = workloads if workloads is not None else suite.all_abbrs()
@@ -159,7 +164,8 @@ def run_suite(
         )
         for abbr in names
     ]
-    batch = run_tasks(tasks, runner, registry=registry)
+    batch = run_tasks(tasks, runner, registry=registry, trace=trace,
+                      on_event=on_event)
     for abbr in names:
         key = f"{config_name}/{abbr}"
         if key in batch.results:

@@ -151,6 +151,26 @@ def plan_affinity(
     return plan
 
 
+def plan_nodes(
+    jobs: int,
+    pin: bool,
+    nodes: Optional[Sequence[Sequence[int]]] = None,
+) -> list[int]:
+    """The NUMA node each worker slot lands on (-1 when unpinned).
+
+    Mirrors the round-robin placement of :func:`plan_affinity` — worker
+    *i* on node ``i % n_nodes`` — so trace tracks and drill reports can
+    label slots with the node they actually ran on.
+    """
+    if jobs <= 0:
+        raise ValueError("jobs must be positive")
+    if not pin:
+        return [-1] * jobs
+    topo = [list(n) for n in (nodes if nodes is not None else numa_nodes())]
+    topo = [n for n in topo if n] or [_process_cpus()]
+    return [i % len(topo) for i in range(jobs)]
+
+
 def _apply_affinity(cpus: Optional[Sequence[int]]) -> None:
     """Pin the calling process; silently a no-op where unsupported."""
     if not cpus:
@@ -252,10 +272,19 @@ def result_payload(message: tuple) -> bytes:
 # ---------------------------------------------------------------------------
 
 def _worker_main(
-    conn, affinity: Optional[tuple[int, ...]], shm_min: int
+    conn, affinity: Optional[tuple[int, ...]], shm_min: int,
+    trace_spec: Optional[dict] = None,
 ) -> None:
-    """Long-lived worker loop: pin, then serve tasks until ``stop``/EOF."""
+    """Long-lived worker loop: pin, then serve tasks until ``stop``/EOF.
+
+    With *trace_spec* (``{"dir", "slot", "node"}``) each dispatched task
+    that carries a trace context gets a ``task`` span in this worker's
+    crash-safe spill file — the begin edge is flushed *before* the task
+    (and before the chaos fault site), so a SIGKILL mid-kernel still
+    leaves the victim's span on disk for the flight recorder.
+    """
     _apply_affinity(affinity)
+    spill = None
     while True:
         try:
             message = conn.recv()
@@ -263,7 +292,24 @@ def _worker_main(
             break  # parent gone
         if message[0] != MSG_RUN:
             break
-        _, key, fn, args = message
+        # Messages are 4-tuples, or 5-tuples when the dispatcher attached
+        # a trace context — old-shape senders keep working unchanged.
+        _, key, fn, args = message[:4]
+        wire = message[4] if len(message) > 4 else None
+        ctx = None
+        if wire is not None and trace_spec is not None:
+            # Imported lazily: untraced pools never touch the obs layer.
+            from repro.obs.trace import SpanSpill, TraceContext, \
+                worker_spill_name
+
+            if spill is None:
+                spill = SpanSpill(
+                    Path(trace_spec["dir"])
+                    / worker_spill_name(trace_spec["slot"]),
+                    slot=trace_spec["slot"], node=trace_spec["node"],
+                )
+            ctx = TraceContext.from_wire(wire).child("task")
+            spill.span_begin(ctx, "task", key=key)
         try:
             _maybe_inject_fault(key)
             result = fn(*args)
@@ -273,10 +319,15 @@ def _worker_main(
             reply = (
                 ERR, type(exc).__name__, str(exc), traceback.format_exc()
             )
+        if ctx is not None:
+            status = "error" if reply[0] == ERR else "ok"
+            spill.span_end(ctx, "task", key=key, status=status)
         try:
             conn.send(reply)
         except Exception:
             break  # parent gone or pipe broken; exit code tells the story
+    if spill is not None:
+        spill.close()
     conn.close()
 
 
@@ -309,6 +360,9 @@ class PoolWorker:
 
     index: int
     affinity: Optional[tuple[int, ...]]
+    #: NUMA node this slot was planned onto (-1 when unpinned) — used
+    #: to label the slot's track in assembled traces.
+    node: int = -1
     process: Any = None
     conn: Any = None
     #: True once ``recv`` raised EOF/OSError: the pipe must never be
@@ -346,13 +400,17 @@ class WorkerPool:
         ctx=None,
         shm_min: Optional[int] = None,
         nodes: Optional[Sequence[Sequence[int]]] = None,
+        trace_dir=None,
     ) -> None:
         if jobs <= 0:
             raise ValueError("pool size must be positive")
         self._ctx = ctx if ctx is not None else _mp_context()
         self._shm_min = shm_min if shm_min is not None else shm_min_bytes()
+        #: Spans directory passed to every worker (None = tracing off).
+        self._trace_dir = str(trace_dir) if trace_dir is not None else None
+        node_plan = plan_nodes(jobs, pin, nodes)
         self.workers = [
-            PoolWorker(index=i, affinity=plan)
+            PoolWorker(index=i, affinity=plan, node=node_plan[i])
             for i, plan in enumerate(plan_affinity(jobs, pin, nodes))
         ]
 
@@ -365,9 +423,13 @@ class WorkerPool:
 
     def _spawn(self, worker: PoolWorker) -> None:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        trace_spec = None
+        if self._trace_dir is not None:
+            trace_spec = {"dir": self._trace_dir, "slot": worker.index,
+                          "node": worker.node}
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, worker.affinity, self._shm_min),
+            args=(child_conn, worker.affinity, self._shm_min, trace_spec),
             daemon=True,
         )
         process.start()
@@ -379,11 +441,20 @@ class WorkerPool:
     # -- dispatch -------------------------------------------------------
 
     def dispatch(self, worker: PoolWorker, key: str,
-                 fn: Callable[..., Any], args: tuple) -> bool:
+                 fn: Callable[..., Any], args: tuple,
+                 span: Optional[dict] = None) -> bool:
         """Send one task to *worker*; False when the pipe is broken
-        (caller respawns and retries on another/fresh worker)."""
+        (caller respawns and retries on another/fresh worker).
+
+        *span* is an optional trace-context wire dict
+        (:meth:`repro.obs.trace.TraceContext.to_wire`); when present the
+        worker opens a ``task`` span under it in its spill file.
+        """
         try:
-            worker.conn.send((MSG_RUN, key, fn, args))
+            if span is None:
+                worker.conn.send((MSG_RUN, key, fn, args))
+            else:
+                worker.conn.send((MSG_RUN, key, fn, args, span))
         except (OSError, ValueError):
             return False
         worker.tasks_started += 1
@@ -531,6 +602,7 @@ __all__ = [
     "numa_nodes",
     "parse_cpulist",
     "plan_affinity",
+    "plan_nodes",
     "result_payload",
     "shm_min_bytes",
 ]

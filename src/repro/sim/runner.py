@@ -50,6 +50,12 @@ from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.obs.metrics import spec_for
 from repro.obs.summary import summarize_result
+from repro.obs.trace import (
+    RUNNER_SPILL,
+    SpanSpill,
+    TraceContext,
+    spans_dir_for,
+)
 from repro.sim import chaos
 from repro.sim.journal import Journal
 from repro.sim.pool import (
@@ -236,8 +242,9 @@ class _Telemetry:
     events).  Every method is a cheap no-op when nothing was attached.
     """
 
-    def __init__(self, registry, obs) -> None:
+    def __init__(self, registry, obs, on_event=None) -> None:
         self._obs = obs
+        self._on_event = on_event
         #: The attached registry (also consumed by the result-digest
         #: path, which counts ``obs.digest_errors`` against it).
         self.registry = registry
@@ -276,12 +283,27 @@ class _Telemetry:
             self._pool_workers.set(workers_alive)
             self._pool_queue.set(queue_depth)
 
+    def emit(self, kind: str, **data) -> None:
+        """Forward one lifecycle event to the attached ``on_event``.
+
+        The callback is observational (the serve event stream); a
+        raising subscriber must never fail the batch.
+        """
+        if self._on_event is None:
+            return
+        try:
+            self._on_event({"kind": kind, **data})
+        except Exception:
+            pass
+
 
 def run_tasks(
     tasks: Sequence[Task],
     policy: RunnerPolicy,
     registry=None,
     obs=None,
+    trace: Optional[TraceContext] = None,
+    on_event: Optional[Callable[[dict], None]] = None,
 ) -> BatchResult:
     """Execute *tasks* under *policy*; never raises for task failures.
 
@@ -292,11 +314,22 @@ def run_tasks(
     ``runner.retry`` trace events (its registry is used when *registry*
     is not given).  Both are observational only — task scheduling,
     retries, and results are unaffected.
+
+    *trace* (a :class:`repro.obs.TraceContext`) attaches distributed
+    tracing (docs/tracing.md): every attempt gets a span in the
+    journal-adjacent spans directory, the context is propagated over
+    the pool wire protocol so workers spill their own ``task`` spans,
+    and the journal ``meta`` record carries the trace id.  Requires a
+    journal (the spans directory lives next to it); silently off
+    otherwise.  *on_event* receives one dict per point completion
+    (``point.done`` / ``point.failed``) — the serve event stream's
+    feed.  Both are observational: results stay byte-identical with
+    tracing on or off.
     """
     policy.validate()
     if registry is None and obs is not None:
         registry = obs.registry
-    telem = _Telemetry(registry, obs)
+    telem = _Telemetry(registry, obs, on_event)
     keys = [t.key for t in tasks]
     if len(set(keys)) != len(keys):
         raise ValueError("task keys must be unique within a batch")
@@ -312,6 +345,12 @@ def run_tasks(
         )
         if policy.journal_path else None
     )
+    spans_dir = None
+    spill = None
+    if trace is not None and journal is not None:
+        spans_dir = spans_dir_for(journal.path)
+        spill = SpanSpill(spans_dir / RUNNER_SPILL)
+        spill_base = _spill_totals(spans_dir)
     if journal is not None:
         # Tmp sidecars orphaned by a SIGKILL mid-store (unique names,
         # so they can pile up across crashed batches) are swept here,
@@ -323,7 +362,9 @@ def run_tasks(
         # validate the provenance of every journalled digest.
         from repro.obs.baseline import environment_fingerprint
 
-        journal.append("meta", "", fingerprint=environment_fingerprint())
+        journal.append("meta", "", fingerprint=environment_fingerprint(
+            trace_id=trace.trace_id if trace is not None else None,
+        ))
     batch = BatchResult()
     todo: list[Task] = []
     if policy.resume and journal is not None:
@@ -339,10 +380,17 @@ def run_tasks(
     else:
         todo = list(tasks)
 
-    if policy.isolated:
-        _run_isolated(todo, policy, journal, batch, telem)
-    else:
-        _run_inline(todo, policy, journal, batch, telem)
+    try:
+        if policy.isolated:
+            _run_isolated(todo, policy, journal, batch, telem,
+                          trace=trace, spill=spill, spans_dir=spans_dir)
+        else:
+            _run_inline(todo, policy, journal, batch, telem,
+                        trace=trace, spill=spill)
+    finally:
+        if spill is not None:
+            spill.close()
+            _account_spill(registry, spans_dir, spill_base, spill.dropped)
     # Pooled attempts land in completion order, which varies run to run;
     # re-key into submission order so a batch's outcome is byte-identical
     # regardless of jobs/pin/scheduling.
@@ -357,6 +405,42 @@ def run_tasks(
     }
     batch.cancelled.sort(key=order.__getitem__)
     return batch
+
+
+def _spill_totals(spans_dir: Path) -> dict[str, tuple[int, int]]:
+    """Per-file ``(records, bytes)`` snapshot of a spans directory.
+
+    Taken before and after a traced batch so the ``trace.spans`` /
+    ``trace.spill_bytes`` counters reflect this batch only, even when
+    the journal (and its spans directory) is reused across batches.
+    """
+    totals: dict[str, tuple[int, int]] = {}
+    if not spans_dir.is_dir():
+        return totals
+    for path in sorted(spans_dir.glob("*.jsonl")):
+        try:
+            data = path.read_bytes()
+        except OSError:
+            continue
+        totals[path.name] = (data.count(b"\n"), len(data))
+    return totals
+
+
+def _account_spill(registry, spans_dir, base: dict, dropped: int) -> None:
+    """Credit this batch's span records/bytes to the trace counters."""
+    if registry is None or spans_dir is None:
+        return
+    spans = bytes_written = 0
+    for name, (records, size) in _spill_totals(spans_dir).items():
+        prev_records, prev_size = base.get(name, (0, 0))
+        spans += max(0, records - prev_records)
+        bytes_written += max(0, size - prev_size)
+    if spans:
+        registry.register(spec_for("trace.spans")).inc(spans)
+    if bytes_written:
+        registry.register(spec_for("trace.spill_bytes")).inc(bytes_written)
+    if dropped:
+        registry.register(spec_for("trace.dropped_spans")).inc(dropped)
 
 
 def _record_success(
@@ -382,6 +466,9 @@ def _record_success(
             "done", task.key, attempt=attempt, elapsed_s=elapsed_s,
             config_hash=task.config_hash, **extra,
         )
+    if telem is not None:
+        telem.emit("point.done", key=task.key, attempt=attempt,
+                   elapsed_s=elapsed_s)
 
 
 def _record_failure(
@@ -389,10 +476,14 @@ def _record_failure(
     journal: Optional[Journal],
     task: Task,
     report: FailureReport,
+    telem: Optional["_Telemetry"] = None,
 ) -> None:
     batch.failures[task.key] = report
     if journal is not None:
         journal.append("failed", task.key, **report.to_record())
+    if telem is not None:
+        telem.emit("point.failed", key=task.key,
+                   failure_kind=report.kind, attempts=report.attempts)
 
 
 def _run_inline(
@@ -401,6 +492,8 @@ def _run_inline(
     journal: Optional[Journal],
     batch: BatchResult,
     telem: _Telemetry,
+    trace: Optional[TraceContext] = None,
+    spill: Optional[SpanSpill] = None,
 ) -> None:
     """Serial in-process execution (the bit-identical default path)."""
     for i, task in enumerate(todo):
@@ -409,6 +502,11 @@ def _run_inline(
         while True:
             if journal is not None:
                 journal.append("start", task.key, attempt=attempt)
+            ctx = None
+            if trace is not None and spill is not None:
+                ctx = trace.child(f"attempt:{task.key}#{attempt}")
+                spill.span_begin(ctx, "attempt", key=task.key,
+                                 attempt=attempt, slot=-1)
             telem.attempt()
             try:
                 _maybe_inject_fault(task.key)
@@ -423,6 +521,9 @@ def _run_inline(
                             exception_type=type(exc).__name__,
                             message=str(exc), backoff_s=delay,
                         )
+                    if ctx is not None:
+                        spill.span_end(ctx, "attempt", key=task.key,
+                                       attempt=attempt, status="retry")
                     telem.retry(task.key, attempt, KIND_EXCEPTION)
                     if delay > 0:
                         time.sleep(delay)
@@ -435,13 +536,19 @@ def _run_inline(
                     config_hash=task.config_hash, attempts=attempt,
                     elapsed_s=time.perf_counter() - started,
                 )
-                _record_failure(batch, journal, task, report)
+                if ctx is not None:
+                    spill.span_end(ctx, "attempt", key=task.key,
+                                   attempt=attempt, status="error")
+                _record_failure(batch, journal, task, report, telem)
                 telem.failure(KIND_EXCEPTION)
                 if not policy.keep_going:
                     batch.cancelled.extend(t.key for t in todo[i + 1:])
                     return
                 break
             else:
+                if ctx is not None:
+                    spill.span_end(ctx, "attempt", key=task.key,
+                                   attempt=attempt, status="ok")
                 _record_success(
                     batch, journal, task, result, attempt,
                     time.perf_counter() - started, telem,
@@ -463,6 +570,8 @@ class _Running:
     started: float
     deadline: Optional[float]
     first_started: float
+    #: This attempt's trace context (None when tracing is off).
+    ctx: Optional[TraceContext] = None
 
 
 def _run_isolated(
@@ -471,16 +580,25 @@ def _run_isolated(
     journal: Optional[Journal],
     batch: BatchResult,
     telem: _Telemetry,
+    trace: Optional[TraceContext] = None,
+    spill: Optional[SpanSpill] = None,
+    spans_dir: Optional[Path] = None,
 ) -> None:
     """Crash-isolated execution on the persistent worker pool."""
     if not todo:
         return
-    pool = WorkerPool(min(policy.jobs, len(todo)), pin=policy.pin)
+    pool = WorkerPool(min(policy.jobs, len(todo)), pin=policy.pin,
+                      trace_dir=spans_dir)
     #: (task, attempt, eligible_at, first_started) awaiting a worker slot.
     pending: deque = deque((t, 1, 0.0, None) for t in todo)
     #: worker index -> the attempt it is currently executing.
     inflight: dict[int, _Running] = {}
     stop = False
+
+    def end_span(entry: _Running, status: str) -> None:
+        if spill is not None and entry.ctx is not None:
+            spill.span_end(entry.ctx, "attempt", key=entry.task.key,
+                           attempt=entry.attempt, status=status)
 
     def finish_failure(entry: _Running, kind: str, exc_type: str,
                        message: str, tb: str) -> None:
@@ -505,7 +623,7 @@ def _run_isolated(
             config_hash=entry.task.config_hash, attempts=entry.attempt,
             elapsed_s=time.monotonic() - entry.first_started,
         )
-        _record_failure(batch, journal, entry.task, report)
+        _record_failure(batch, journal, entry.task, report, telem)
         telem.failure(kind)
         if not policy.keep_going:
             stop = True
@@ -516,6 +634,8 @@ def _run_isolated(
             if stop:
                 # Fail-fast: cancel in-flight and queued work alike; the
                 # finally-block force-shutdown kills the busy workers.
+                for e in inflight.values():
+                    end_span(e, "cancelled")
                 batch.cancelled.extend(
                     e.task.key for e in inflight.values()
                 )
@@ -542,12 +662,19 @@ def _run_isolated(
                 if picked is None:
                     break  # everything queued is still backing off
                 task, attempt, _eligible, first = picked
-                if not pool.dispatch(worker, task.key, task.fn, task.args):
+                ctx = None
+                span_wire = None
+                if trace is not None and spill is not None:
+                    ctx = trace.child(f"attempt:{task.key}#{attempt}")
+                    span_wire = ctx.to_wire()
+                if not pool.dispatch(worker, task.key, task.fn, task.args,
+                                     span=span_wire):
                     # The slot died between batches; one respawn, then
                     # requeue rather than risk a hot loop.
                     pool.respawn(worker)
                     if not pool.dispatch(
-                        worker, task.key, task.fn, task.args
+                        worker, task.key, task.fn, task.args,
+                        span=span_wire,
                     ):
                         pending.append((task, attempt, _eligible, first))
                         continue
@@ -557,9 +684,14 @@ def _run_isolated(
                     deadline=(started + policy.timeout_s
                               if policy.timeout_s is not None else None),
                     first_started=first if first is not None else started,
+                    ctx=ctx,
                 )
                 if journal is not None:
                     journal.append("start", task.key, attempt=attempt)
+                if ctx is not None:
+                    spill.span_begin(ctx, "attempt", key=task.key,
+                                     attempt=attempt, slot=worker.index,
+                                     node=worker.node)
                 telem.attempt()
                 telem.pool_task(worker.index)
             telem.pool_state(pool.alive_count(), len(pending))
@@ -582,6 +714,7 @@ def _run_isolated(
                     message = data
                     if message[0] == ERR:
                         _, exc_type, msg, tb = message
+                        end_span(entry, "error")
                         finish_failure(
                             entry, KIND_EXCEPTION, exc_type, msg, tb
                         )
@@ -589,12 +722,14 @@ def _run_isolated(
                     try:
                         result = pickle.loads(result_payload(message))
                     except Exception as exc:
+                        end_span(entry, "error")
                         finish_failure(
                             entry, KIND_EXCEPTION, type(exc).__name__,
                             f"result transport failed: {exc}",
                             traceback.format_exc(),
                         )
                     else:
+                        end_span(entry, "ok")
                         _record_success(
                             batch, journal, entry.task, result,
                             entry.attempt,
@@ -603,6 +738,7 @@ def _run_isolated(
                         )
                 else:  # died: segfault, OOM kill, os._exit — crash case
                     if entry is not None:
+                        end_span(entry, "crash")
                         code = data
                         detail = (
                             f"killed by signal {-code}" if code is not None
@@ -634,7 +770,7 @@ def _run_isolated(
                                 ),
                             )
                             _record_failure(batch, journal, entry.task,
-                                            report)
+                                            report, telem)
                             telem.failure(KIND_CRASH_LOOP)
                             stop = True
                             continue
@@ -660,6 +796,7 @@ def _run_isolated(
                         pool.restart_worker(worker)
                     else:
                         pool.kill_worker(worker)
+                    end_span(entry, "timeout")
                     finish_failure(
                         entry, KIND_TIMEOUT, "WorkerTimeout",
                         f"worker exceeded {policy.timeout_s:g}s "

@@ -10,6 +10,7 @@ full socket path.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from types import SimpleNamespace
 
@@ -30,7 +31,8 @@ OTHER_WORKLOADS = ("XSBench", "AMG", "CoMD", "MCB", "HPGMG")
 def _fake_execute(started=None, release=None, ok=True):
     """A stand-in for execute_request, optionally gated on events."""
 
-    def fake(request, journal_path, pool_jobs, registry=None):
+    def fake(request, journal_path, pool_jobs, registry=None,
+             trace=None, on_event=None, pin=False):
         if started is not None:
             started.set()
         if release is not None:
@@ -307,6 +309,152 @@ class TestScheduling:
 
 
 # ---------------------------------------------------------------------------
+# The bounded store (LRU eviction, docs/serve.md)
+# ---------------------------------------------------------------------------
+
+class TestStoreGC:
+    def _filled(self, root, keys, registry=None, max_bytes=None):
+        store = ResultStore(root, registry=registry, max_bytes=max_bytes)
+        for i, key in enumerate(keys):
+            store.save(key, {"n": i, "pad": "x" * 64})
+            # deterministic LRU order regardless of filesystem timestamp
+            # resolution
+            os.utime(store.result_path(key), (i, i))
+        return store
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        keys = ["a" * 32, "b" * 32]
+        store = self._filled(tmp_path, keys)
+        assert sorted(store.keys()) == keys
+
+    def test_post_write_eviction_is_lru_and_counted(self, tmp_path):
+        registry = default_registry()
+        keys = ["a" * 32, "b" * 32]
+        store = self._filled(tmp_path, keys, registry=registry)
+        entry = store._entry_bytes(keys[0])
+        store.max_bytes = 2 * entry  # room for two entries
+        newest = "c" * 32
+        store.save(newest, {"n": 2, "pad": "x" * 64})
+        # oldest mtime went first; the just-written key is protected
+        assert sorted(store.keys()) == sorted([keys[1], newest])
+        assert registry.get("serve.store_evicted").total() == 1
+
+    def test_load_refreshes_lru_position(self, tmp_path):
+        registry = default_registry()
+        keys = ["a" * 32, "b" * 32]
+        store = self._filled(tmp_path, keys, registry=registry)
+        store.max_bytes = 2 * store._entry_bytes(keys[0])
+        assert store.load(keys[0]) is not None  # touch: "a" now newest
+        store.save("c" * 32, {"n": 2, "pad": "x" * 64})
+        assert sorted(store.keys()) == sorted([keys[0], "c" * 32])
+
+    def test_startup_gc_enforces_the_bound(self, tmp_path):
+        registry = default_registry()
+        keys = ["a" * 32, "b" * 32, "c" * 32]
+        store = self._filled(tmp_path, keys)
+        bound = store._entry_bytes(keys[0]) * 2
+        reopened = ResultStore(tmp_path, registry=registry,
+                               max_bytes=bound)
+        assert sorted(reopened.keys()) == sorted(keys[1:])
+        assert registry.get("serve.store_evicted").total() == 1
+
+    def test_eviction_removes_the_whole_entry(self, tmp_path):
+        from repro.obs.trace import spans_dir_for
+
+        key = "a" * 32
+        store = self._filled(tmp_path, [key])
+        journal = store.journal_path(key)
+        journal.write_text('{"event": "meta"}\n')
+        spans = spans_dir_for(journal)
+        spans.mkdir()
+        (spans / "worker-00.jsonl").write_text("{}\n")
+        store.max_bytes = 1  # smaller than anything
+        protected = "b" * 32
+        store.save(protected, {"n": 1})
+        assert store.keys() == [protected]
+        assert not journal.exists() and not spans.exists()
+
+
+# ---------------------------------------------------------------------------
+# The event stream and the trace endpoint (docs/tracing.md)
+# ---------------------------------------------------------------------------
+
+class TestEventStreamAndTrace:
+    def test_long_poll_cursor_and_terminal_drain(self, tmp_path,
+                                                 monkeypatch):
+        started, release = threading.Event(), threading.Event()
+        monkeypatch.setattr("repro.serve.jobs.execute_request",
+                            _fake_execute(started, release))
+        with ThreadedServer(tmp_path, pool_jobs=1) as srv:
+            c = ServeClient(port=srv.port)
+            job = c.submit("numa-gpu", workloads=[WORKLOAD])
+            assert started.wait(10)
+            first = c.events(job["id"])
+            assert first.status == 200
+            kinds = [e["kind"] for e in first["events"]]
+            assert kinds == ["job.queued", "job.running"]
+            assert first["next"] == first["events"][-1]["seq"]
+            assert first["trace_id"]  # minted at submission
+            assert first["events"][0]["trace_id"] == first["trace_id"]
+            release.set()
+            # the long poll parks until the terminal event arrives
+            more = c.events(job["id"], since=first["next"], wait=10)
+            assert [e["kind"] for e in more["events"]] == ["job.done"]
+            assert more["state"] == "done"
+            # a terminal job returns immediately, stream drained
+            drained = c.events(job["id"], since=more["next"], wait=30)
+            assert drained["events"] == []
+            snap = c.metricsz().body
+            assert snap["serve.stream_clients"]["values"][""] == 0
+
+    def test_coalesced_submit_is_visible_in_the_stream(self, tmp_path,
+                                                       monkeypatch):
+        started, release = threading.Event(), threading.Event()
+        monkeypatch.setattr("repro.serve.jobs.execute_request",
+                            _fake_execute(started, release))
+        with ThreadedServer(tmp_path, pool_jobs=1) as srv:
+            c = ServeClient(port=srv.port)
+            job = c.submit("numa-gpu", workloads=[WORKLOAD])
+            assert started.wait(10)
+            c.submit("numa-gpu", workloads=[WORKLOAD])  # coalesces
+            release.set()
+            c.wait(job["id"], timeout=30)
+            stream = c.events(job["id"])
+            assert "job.coalesced" in [e["kind"] for e in stream["events"]]
+
+    def test_events_error_cases(self, tmp_path):
+        with ThreadedServer(tmp_path) as srv:
+            c = ServeClient(port=srv.port)
+            assert c.events("job-9999-missing").status == 404
+            r = c.request("GET", "/jobs/job-9999-missing/events?since=x")
+            assert r.status == 404  # unknown job wins over bad params
+
+    def test_bad_cursor_is_a_400(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.serve.jobs.execute_request",
+                            _fake_execute())
+        with ThreadedServer(tmp_path, pool_jobs=1) as srv:
+            c = ServeClient(port=srv.port)
+            job = c.submit("numa-gpu", workloads=[WORKLOAD])
+            c.wait(job["id"], timeout=30)
+            r = c.request("GET", f"/jobs/{job['id']}/events?since=x")
+            assert r.status == 400
+
+    def test_trace_unready_answers_409(self, tmp_path, monkeypatch):
+        started, release = threading.Event(), threading.Event()
+        monkeypatch.setattr("repro.serve.jobs.execute_request",
+                            _fake_execute(started, release))
+        with ThreadedServer(tmp_path, pool_jobs=1) as srv:
+            c = ServeClient(port=srv.port)
+            assert c.trace("job-9999-missing").status == 404
+            job = c.submit("numa-gpu", workloads=[WORKLOAD])
+            assert started.wait(10)
+            pending = c.trace(job["id"])
+            assert pending.status == 409
+            assert pending["state"] == "running"
+            release.set()
+
+
+# ---------------------------------------------------------------------------
 # HTTP surface details (fake executor)
 # ---------------------------------------------------------------------------
 
@@ -396,6 +544,37 @@ class TestIntegration:
             # the journal really is the report's source
             store = ResultStore(tmp_path)
             assert store.journal_path(final["key"]).exists()
+
+    def test_trace_endpoint_round_trip(self, tmp_path):
+        from repro.obs.assemble import PID_WORKER_BASE
+
+        # pool_jobs=2: the isolated pool path, so worker task spans
+        # (not just runner attempt spans) appear in the timeline
+        with ThreadedServer(tmp_path, pool_jobs=2) as srv:
+            c = ServeClient(port=srv.port)
+            r = c.submit("numa-gpu", workloads=[WORKLOAD],
+                         use_cache=False)
+            final = c.wait(r["id"], timeout=300)
+            assert final["state"] == "done"
+            assert final["trace_id"] and final["events"] >= 3
+            doc = c.trace(r["id"])
+            assert doc.status == 200
+            body = doc.body
+            assert body["otherData"]["trace_id"] == final["trace_id"]
+            assert body["otherData"]["unfinished_spans"] == 0
+            slices = [e for e in body["traceEvents"] if e["ph"] == "X"]
+            assert slices and all(
+                e["args"]["trace_id"] == final["trace_id"] for e in slices
+            )
+            # the worker's task span landed on a labeled worker row
+            assert any(e["pid"] >= PID_WORKER_BASE for e in slices)
+            # the serve lifecycle rides along as its own row
+            serve_row = [e for e in body["traceEvents"]
+                         if e.get("cat") == "serve"]
+            assert any(e["name"] == "job.done" for e in serve_row)
+            # offline assembly of the same artifacts agrees
+            offline = c.request("GET", f"/jobs/{r['id']}/trace")
+            assert offline.status == 200
 
     def test_worker_crash_surfaces_failure_report(self, tmp_path,
                                                   monkeypatch):

@@ -8,12 +8,18 @@ documented contract through the real socket:
 1.  ``GET /healthz`` answers and reports an empty queue.
 2.  Two *concurrent* submissions of the same config coalesce onto one
     job id — exactly one execution happens.
-3.  ``GET /jobs/<id>`` reaches ``done``; ``GET /jobs/<id>/result``
+3.  A ``GET /jobs/<id>/events`` long-poll follows the job live from
+    ``job.queued`` through per-point ``point.done`` to ``job.done``,
+    with a gapless cursor.
+4.  ``GET /jobs/<id>`` reaches ``done``; ``GET /jobs/<id>/result``
     carries per-workload digests and a provenance fingerprint.
-4.  A post-completion resubmission is a CAS hit (``"dedup": "cached"``)
+5.  A post-completion resubmission is a CAS hit (``"dedup": "cached"``)
     and its result matches the executed one byte for byte.
-5.  ``GET /jobs/<id>/report`` returns the HTML dashboard.
-6.  ``GET /metricsz`` confirms the dedup counters: 1 coalesced, 1
+6.  ``GET /jobs/<id>/report`` returns the HTML dashboard.
+7.  ``GET /jobs/<id>/trace`` returns the assembled Perfetto timeline:
+    labeled worker rows, every span carrying the job's trace id, no
+    unfinished spans and no damaged spill records.
+8.  ``GET /metricsz`` confirms the dedup counters: 1 coalesced, 1
     cached, and a single execution's completion.
 
 Exit status 0 when every step holds; 1 with a message otherwise.  The
@@ -98,6 +104,29 @@ def main(argv=None) -> int:
         job_id = a["id"]
         print(f"e2e: concurrent duplicates coalesced onto {job_id}")
 
+        # -- the live event stream follows the job to completion --------
+        seen: list = []
+        cursor = 0
+        stream_deadline = time.monotonic() + 600
+        while time.monotonic() < stream_deadline:
+            stream = client.events(job_id, since=cursor, wait=10)
+            assert stream.status == 200, stream.body
+            seen.extend(stream["events"])
+            cursor = stream["next"]
+            if stream["state"] in ("done", "failed", "cancelled") \
+                    and not stream["events"]:
+                break
+        kinds = [e["kind"] for e in seen]
+        assert kinds[0] == "job.queued", kinds
+        assert "job.running" in kinds, kinds
+        assert kinds[-1] == "job.done", kinds
+        assert kinds.count("point.done") == len(WORKLOADS), kinds
+        assert [e["seq"] for e in seen] == list(range(1, len(seen) + 1)), \
+            "event stream has gaps"
+        trace_id = next(e["trace_id"] for e in seen if "trace_id" in e)
+        print(f"e2e: streamed {len(seen)} events live "
+              f"(trace {trace_id}): {' -> '.join(kinds)}")
+
         # -- completion, result, provenance -----------------------------
         final = client.wait(job_id, timeout=600)
         assert final["state"] == "done", final.body
@@ -126,6 +155,24 @@ def main(argv=None) -> int:
         assert report.headers["content-type"].startswith("text/html")
         assert "<html" in report.body and job_id in report.body
         print(f"e2e: report is {len(report.body)} bytes of HTML")
+
+        # -- the assembled timeline -------------------------------------
+        trace = client.trace(job_id)
+        assert trace.status == 200, trace.body
+        other = trace["otherData"]
+        assert other["trace_id"] == trace_id, other
+        assert other["unfinished_spans"] == 0, other
+        assert other["damaged_span_records"] == 0, other
+        slices = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert slices and all(
+            s["args"]["trace_id"] == trace_id for s in slices
+        ), "a span slice is missing the job's trace id"
+        rows = {e["args"]["name"] for e in trace["traceEvents"]
+                if e["name"] == "process_name"}
+        assert "runner" in rows and "serve" in rows, rows
+        assert any(r.startswith("worker ") for r in rows), rows
+        print(f"e2e: timeline has {other['spans']} spans on rows "
+              f"{sorted(rows)}")
 
         # -- metrics agree with the story -------------------------------
         snap = client.metricsz().body
