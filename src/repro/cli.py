@@ -457,35 +457,86 @@ def _cmd_report(args) -> int:
 
 def _cmd_lint(args) -> int:
     """Run the determinism/invariant linter (docs/lint.md)."""
+    import json
+    import os
     from pathlib import Path
 
-    from repro.lint import LintConfigError, run_lint, save_baseline
+    from repro.lint import (
+        SCOPE_FILE,
+        LintConfigError,
+        discover_repo_root,
+        run_lint,
+        save_baseline,
+        save_scope,
+    )
 
+    root = Path(args.root) if args.root is not None \
+        else discover_repo_root(Path(args.path))
     baseline = args.baseline
     if baseline is None and not args.update_baseline:
-        default = Path(args.root) / "lint-baseline.json"
+        default = root / "lint-baseline.json"
         if default.exists():
             baseline = str(default)
+    cache_dir = args.cache_dir or os.environ.get("REPRO_LINT_CACHE") \
+        or str(root / ".lint-cache")
+    if cache_dir == "none":
+        cache_dir = None
+    explain = None
+    if args.explain is not None:
+        parts = args.explain.rsplit(":", 2)
+        if len(parts) != 3 or not parts[2].isdigit():
+            print("error: --explain expects ID:PATH:LINE "
+                  "(e.g. DET004:src/repro/sim/cache.py:39)",
+                  file=sys.stderr)
+            return 2
+        explain = (parts[0], parts[1], int(parts[2]))
     try:
         result = run_lint(
             args.path,
             select=args.select,
             ignore=args.ignore,
             baseline_path=baseline,
-            repo_root=args.root,
+            repo_root=root,
             ver_base=args.ver_base,
+            cache_dir=cache_dir,
+            need_graph=bool(args.graph_out or args.update_scope),
         )
     except LintConfigError as exc:
         print(f"error: invalid lint configuration: {exc}",
               file=sys.stderr)
         return 2
+    if args.graph_out and result.graph is not None:
+        out = Path(args.graph_out)
+        if out.suffix == ".dot":
+            out.write_text(result.graph.to_dot(), encoding="utf-8")
+        else:
+            out.write_text(
+                json.dumps(result.graph.to_json(), indent=2,
+                           sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        print(f"call graph written to {out} "
+              f"({result.graph.stats()['functions']} function(s))")
+    if args.update_scope:
+        target = root / SCOPE_FILE
+        save_scope(target, result.scope_doc)
+        n = len(result.scope_doc["modules"])
+        print(f"derived scope written to {target} "
+              f"({n} result-affecting module(s))")
+        return 0
     if args.update_baseline:
-        target = args.baseline or str(
-            Path(args.root) / "lint-baseline.json"
-        )
+        target = args.baseline or str(root / "lint-baseline.json")
         n = save_baseline(target, result.findings)
         print(f"baseline written to {target} "
               f"({n} grandfathered finding key(s))")
+        return 0
+    if explain is not None:
+        rendered = result.explain(*explain)
+        if rendered is None:
+            print(f"no finding matches {args.explain}",
+                  file=sys.stderr)
+            return 1
+        print(rendered)
         return 0
     print(result.render(args.format))
     return result.exit_code
@@ -727,10 +778,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_p.add_argument("path", nargs="?", default="src/repro",
                         help="scan root (default: src/repro)")
-    lint_p.add_argument("--root", default=".", metavar="DIR",
-                        help="repository root: default baseline "
-                             "location and VER001 git anchor "
-                             "(default: cwd)")
+    lint_p.add_argument("--root", default=None, metavar="DIR",
+                        help="repository root: path display anchor, "
+                             "default baseline/scope location and "
+                             "VER001 git anchor (default: "
+                             "auto-discovered from the scan root)")
     lint_p.add_argument("--format", choices=("text", "json"),
                         default="text",
                         help="output format (default: text)")
@@ -747,10 +799,28 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument("--ignore", nargs="+", default=None,
                         metavar="ID",
                         help="skip these rule ids")
-    lint_p.add_argument("--ver-base", default="origin/main",
-                        metavar="REF",
-                        help="merge-base ref for VER001 "
-                             "(default: origin/main)")
+    lint_p.add_argument("--ver-base", default=None, metavar="REF",
+                        help="merge-base ref for VER001 (default: try "
+                             "origin/main then main, skipping with a "
+                             "notice when neither resolves; an "
+                             "explicit ref that fails is exit 2)")
+    lint_p.add_argument("--graph-out", default=None, metavar="PATH",
+                        help="dump the cross-module call graph "
+                             "(.dot -> Graphviz, anything else -> "
+                             "JSON) and continue")
+    lint_p.add_argument("--explain", default=None,
+                        metavar="ID:PATH:LINE",
+                        help="print the source->sink call chain of "
+                             "the finding at ID:PATH:LINE and exit "
+                             "(e.g. DET004:src/repro/sim/cache.py:39)")
+    lint_p.add_argument("--update-scope", action="store_true",
+                        help="derive the result-affecting scope and "
+                             "write <root>/lint-scope.json, then "
+                             "exit 0")
+    lint_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="call-graph cache directory (default: "
+                             "$REPRO_LINT_CACHE or <root>/.lint-cache;"
+                             " 'none' disables)")
     lint_p.set_defaults(fn=_cmd_lint)
 
     serve_p = sub.add_parser(

@@ -6,6 +6,12 @@ is a multiset of finding keys — ``(rule, path, message)`` with a count
 — deliberately excluding line numbers so unrelated edits above a
 grandfathered finding don't un-grandfather it.
 
+Version 2: ``path`` is repo-relative POSIX (``src/repro/core/foo.py``),
+normalised by the engine regardless of the invocation cwd, so a
+baseline recorded from the repo root matches a run from ``src/`` or
+CI.  Version-1 baselines (scan-relative paths) are rejected with a
+configuration error rather than silently mismatching.
+
 Round trip: ``python -m repro lint --update-baseline`` records today's
 findings; a later plain run is then clean until a *new* finding
 appears.  The committed baseline for this repository ships empty: every
@@ -22,7 +28,7 @@ from typing import Iterable, Union
 
 from repro.lint.findings import Finding, LintConfigError
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 
 
 def load_baseline(path: Union[str, Path]) -> Counter:

@@ -1,0 +1,442 @@
+"""Whole-program rules over the cross-module call graph.
+
+Unlike the per-module AST rules in :mod:`repro.lint.rules`, every rule
+here consumes the :class:`~repro.lint.graph.ProjectGraph` plus the
+reachability sets of :mod:`repro.lint.dataflow`, so it can see a
+``time.time()`` two helper modules away from the perf model or a
+blocking pipe ``recv`` three calls below an async route.  Each finding
+carries the offending call :attr:`~repro.lint.findings.Finding.chain`
+(root first, sink last) — rendered by ``--explain`` and in the CI
+failure log.
+
+Suppression works exactly like the AST rules: a ``# lint:
+disable=<ID>`` comment *at the sink line* silences the finding, so the
+annotation lives next to the code that triggers it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.lint.dataflow import (
+    DEFAULT_POLICY,
+    DerivedScope,
+    Reachability,
+    ScopePolicy,
+    reach,
+    reach_from_ids,
+)
+from repro.lint.findings import SEVERITY_ERROR, Finding
+from repro.lint.graph import MODULE_BODY, ProjectGraph
+from repro.lint.rules import WallClockRule
+
+
+def _fn_label(fid: str) -> str:
+    module, qualname = fid.split("::", 1)
+    return f"{module}::{qualname}"
+
+
+def _sink_chain(reached: Reachability, fid: str, line: int,
+                note: str) -> list:
+    """Reach chain to *fid* plus one sink step at *line*."""
+    chain = reached.chain(fid)
+    module = fid.split("::", 1)[0]
+    chain.append({
+        "func": fid.split("::", 1)[1], "path": module,
+        "line": line, "note": note,
+    })
+    return chain
+
+
+class ProjectRule:
+    """Base: one id/severity/title, one whole-graph check."""
+
+    id = "XXX000"
+    severity = SEVERITY_ERROR
+    title = ""
+
+    def check_project(self, graph: ProjectGraph, policy: ScopePolicy,
+                      scope: DerivedScope) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, col: int, message: str,
+                chain: Optional[list] = None) -> Finding:
+        return Finding(
+            rule=self.id, severity=self.severity, path=path,
+            line=line, col=col, message=message,
+            chain=list(chain or ()),
+        )
+
+
+class TransitiveWallClockRule(ProjectRule):
+    """DET004 — non-deterministic inputs reaching the simulated path.
+
+    Flags wall-clock reads, ``os.urandom`` and environment lookups in
+    any function *wide-reachable* from the result-affecting roots
+    (``run_workload``, the engine registry, the coherence protocols) —
+    including through helper modules DET001's per-file scope never
+    sees.  The DET001 :attr:`~repro.lint.rules.WallClockRule.ALLOWLIST`
+    is honored at the sink: orchestration modules whose whole purpose
+    is wall-clock handling stay exempt.
+    """
+
+    id = "DET004"
+    severity = SEVERITY_ERROR
+    title = "non-deterministic input reaches the result-affecting set"
+
+    #: Environment/entropy sources beyond the DET001 wall-clock set.
+    EXTRA_SOURCES = frozenset({
+        "os.urandom", "os.getenv", "os.environ.get",
+    })
+
+    @property
+    def sources(self) -> frozenset:
+        return WallClockRule.BANNED | self.EXTRA_SOURCES
+
+    def check_project(self, graph, policy, scope):
+        reached = scope.reachable
+        if reached is None:
+            return
+        sources = self.sources
+        seen = set()
+        for fid in sorted(reached.entries):
+            fn = graph.functions[fid]
+            if fn.module in WallClockRule.ALLOWLIST:
+                continue
+            for call in fn.calls:
+                if call.name not in sources:
+                    continue
+                key = (fn.module, call.line, call.name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                root = reached.chain(fid)[0]["func"]
+                yield self.finding(
+                    fn.module, call.line, call.col,
+                    f"{call.name}() is reachable from the "
+                    f"result-affecting root {root} (sink in "
+                    f"{_fn_label(fid)}); a non-deterministic value "
+                    f"can flow into simulation results",
+                    chain=_sink_chain(reached, fid, call.line,
+                                      f"calls {call.name}()"),
+                )
+
+
+class RngEscapeRule(ProjectRule):
+    """DET005 — unseeded RNG objects escaping into the simulated path.
+
+    An unseeded ``random.Random()`` / ``numpy.random.default_rng()``
+    passed as an argument into any function of the result-affecting
+    set injects interpreter-state-dependent randomness one call level
+    away from where DET002 looks.
+    """
+
+    id = "DET005"
+    severity = SEVERITY_ERROR
+    title = "unseeded RNG object escapes into the simulated path"
+
+    def check_project(self, graph, policy, scope):
+        reached = scope.reachable
+        if reached is None:
+            return
+        for fid in sorted(graph.functions):
+            fn = graph.functions[fid]
+            for escape in fn.rng_escapes:
+                into_scope = (
+                    (escape.target is not None
+                     and escape.target in reached)
+                    or fid in reached
+                )
+                if not into_scope:
+                    continue
+                callee = escape.callee_name or (
+                    _fn_label(escape.target) if escape.target else "?"
+                )
+                if escape.target is not None \
+                        and escape.target in reached:
+                    chain = _sink_chain(
+                        reached, escape.target, escape.line,
+                        f"receives unseeded {escape.ctor}()",
+                    )
+                elif fid in reached:
+                    chain = _sink_chain(
+                        reached, fid, escape.line,
+                        f"passes unseeded {escape.ctor}() to {callee}",
+                    )
+                else:
+                    chain = []
+                yield self.finding(
+                    fn.module, escape.line, escape.col,
+                    f"unseeded {escape.ctor}() is passed into "
+                    f"{callee} on the result-affecting path; seed it "
+                    f"explicitly so runs replay exactly",
+                    chain=chain,
+                )
+
+
+class AsyncBlockingRule(ProjectRule):
+    """CONC001 — blocking calls reachable from event-loop code.
+
+    Roots are every ``async def`` in the policy's async modules plus
+    the policy's extra event-loop classes (the serve dispatcher calls
+    its sync handlers directly on the loop).  Reachability runs in
+    *calls* mode, so an ``asyncio.to_thread(fn)`` / executor hop —
+    which passes ``fn`` as a value, producing no call edge — genuinely
+    ends the chain: work behind an executor is not flagged.
+    """
+
+    id = "CONC001"
+    severity = SEVERITY_ERROR
+    title = "blocking call reachable from an async route"
+
+    #: Exact blocking callables.
+    BLOCKING = frozenset({
+        "time.sleep",
+        "subprocess.run", "subprocess.call",
+        "subprocess.check_call", "subprocess.check_output",
+        "socket.create_connection",
+    })
+    #: Any call into the sync HTTP client blocks the loop.
+    BLOCKING_PREFIXES = ("http.client.",)
+    #: Unresolved attribute calls matching these suffixes are treated
+    #: as pipe/socket receives (``conn.recv()``) — a documented
+    #: heuristic, suppressible at the sink when the object is not a
+    #: blocking endpoint.
+    BLOCKING_SUFFIXES = (".recv", ".recv_bytes")
+
+    def _blocking(self, name: Optional[str]) -> bool:
+        if name is None:
+            return False
+        if name in self.BLOCKING:
+            return True
+        if name.startswith(self.BLOCKING_PREFIXES):
+            return True
+        return name.endswith(self.BLOCKING_SUFFIXES)
+
+    def _roots(self, graph: ProjectGraph, policy: ScopePolicy) -> list:
+        roots = [
+            fid for fid, fn in graph.functions.items()
+            if fn.is_async and fn.module.startswith(
+                tuple(policy.async_prefixes))
+        ]
+        for module, name in policy.async_extra_roots:
+            cid = f"{module}::{name}"
+            if cid in graph.classes:
+                roots.extend(graph.class_methods(cid))
+            elif f"{module}::{name}" in graph.functions:
+                roots.append(f"{module}::{name}")
+        return sorted(set(roots))
+
+    def check_project(self, graph, policy, scope):
+        roots = self._roots(graph, policy)
+        if not roots:
+            return
+        reached = reach_from_ids(graph, roots, mode="calls")
+        seen = set()
+        for fid in sorted(reached.entries):
+            fn = graph.functions[fid]
+            for call in fn.calls:
+                if call.target is not None \
+                        or not self._blocking(call.name):
+                    continue
+                key = (fn.module, call.line, call.name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                root = reached.chain(fid)[0]["func"]
+                yield self.finding(
+                    fn.module, call.line, call.col,
+                    f"{call.name}() blocks the event loop and is "
+                    f"reachable from async route {root} (sink in "
+                    f"{_fn_label(fid)}); hop through "
+                    f"asyncio.to_thread or an executor",
+                    chain=_sink_chain(reached, fid, call.line,
+                                      f"calls {call.name}()"),
+                )
+
+
+class ForkSharedStateRule(ProjectRule):
+    """CONC002 — module globals written on both sides of the fork.
+
+    A module-level mutable written by both a pool-worker code path and
+    a parent-side path diverges silently after ``fork``: each process
+    mutates its own copy while the code reads as if there were one.
+    Writes are tracked via ``global`` declarations, subscript/attribute
+    stores on module-level names, and in-place mutator calls
+    (``NAME.append(...)``).
+    """
+
+    id = "CONC002"
+    severity = SEVERITY_ERROR
+    title = "module global written from both worker and parent paths"
+
+    def check_project(self, graph, policy, scope):
+        worker = reach(graph, policy.worker_roots, mode="calls")
+        parent = reach(graph, policy.parent_roots, mode="calls")
+        writes: dict = {}  # (module, name) -> {"worker": [...], ...}
+        for side, reached in (("worker", worker), ("parent", parent)):
+            for fid in reached.entries:
+                fn = graph.functions[fid]
+                if fn.qualname == MODULE_BODY:
+                    continue  # import-time init runs before the fork
+                for name, line, col in fn.global_writes:
+                    slot = writes.setdefault(
+                        (fn.module, name), {"worker": [], "parent": []}
+                    )
+                    slot[side].append((fid, line, col))
+        for (module, name), slot in sorted(writes.items()):
+            if not slot["worker"] or not slot["parent"]:
+                continue
+            w_fid, w_line, w_col = min(slot["worker"],
+                                       key=lambda e: (e[1], e[2]))
+            p_fid, p_line, _p_col = min(slot["parent"],
+                                        key=lambda e: (e[1], e[2]))
+            chain = _sink_chain(worker, w_fid, w_line,
+                                f"worker-side write of {name}")
+            chain.extend(
+                {**step,
+                 "note": f"parent-side: {step['note']}"
+                 if step["note"] != "root" else "parent-side root"}
+                for step in _sink_chain(parent, p_fid, p_line,
+                                        f"parent-side write of {name}")
+            )
+            yield self.finding(
+                module, w_line, w_col,
+                f"module global {name!r} is written from a pool-worker "
+                f"path ({_fn_label(w_fid)}) and a parent-side path "
+                f"({_fn_label(p_fid)}:{p_line}); after fork each "
+                f"process mutates its own copy",
+                chain=chain,
+            )
+
+
+class HeldAcrossForkRule(ProjectRule):
+    """CONC003 — locks/open files held across a fork point.
+
+    Forking while a lock is held clones the lock in its locked state
+    into the child (instant deadlock on the next acquire); an open
+    handle shared across the fork interleaves writes.  A fork point is
+    a ``*.Process(...)`` construction (or ``os.fork``) in the policy's
+    fork modules — held ``with`` blocks are checked for calls that
+    reach one, directly or transitively.
+    """
+
+    id = "CONC003"
+    severity = SEVERITY_ERROR
+    title = "lock or open file held across a fork point"
+
+    FORK_SUFFIX = ".Process"
+    FORK_EXACT = frozenset({"os.fork"})
+
+    def _is_fork_call(self, name: Optional[str]) -> bool:
+        return name is not None and (
+            name in self.FORK_EXACT or name.endswith(self.FORK_SUFFIX)
+        )
+
+    def _fork_functions(self, graph: ProjectGraph,
+                        policy: ScopePolicy) -> set:
+        out = set()
+        for fid, fn in graph.functions.items():
+            if not fn.module.startswith(tuple(policy.fork_modules)):
+                continue
+            if any(self._is_fork_call(c.name) for c in fn.calls):
+                out.add(fid)
+        return out
+
+    def check_project(self, graph, policy, scope):
+        fork_fns = self._fork_functions(graph, policy)
+        for fid in sorted(graph.functions):
+            fn = graph.functions[fid]
+            if not fn.module.startswith(tuple(policy.fork_modules)):
+                continue
+            for held in fn.held_contexts:
+                for call in fn.calls:
+                    if not held.line <= call.line <= held.end_line:
+                        continue
+                    chain = self._fork_chain(
+                        graph, fn, call, fork_fns)
+                    if chain is None:
+                        continue
+                    yield self.finding(
+                        fn.module, held.line, held.col,
+                        f"{held.kind} {held.what!r} is held across a "
+                        f"fork point ({chain[-1]['func']}); the child "
+                        f"inherits it in its current state",
+                        chain=[{
+                            "func": fn.qualname, "path": fn.module,
+                            "line": held.line,
+                            "note": f"holds {held.kind} {held.what!r}",
+                        }] + chain,
+                    )
+                    break  # one finding per held block
+
+    def _fork_chain(self, graph, fn, call, fork_fns) -> Optional[List]:
+        if self._is_fork_call(call.name):
+            return [{
+                "func": fn.qualname, "path": fn.module,
+                "line": call.line, "note": f"calls {call.name}()",
+            }]
+        if call.target is None or call.construct:
+            return None
+        sub = reach_from_ids(graph, [call.target], mode="calls")
+        hit = next((f for f in sorted(sub.entries) if f in fork_fns),
+                   None)
+        if hit is None:
+            return None
+        chain = sub.chain(hit)
+        chain[0]["line"] = call.line
+        chain[0]["note"] = "called while held"
+        target_fn = graph.functions[hit]
+        fork_call = next(c for c in target_fn.calls
+                         if self._is_fork_call(c.name))
+        chain.append({
+            "func": target_fn.qualname, "path": target_fn.module,
+            "line": fork_call.line,
+            "note": f"calls {fork_call.name}()",
+        })
+        return chain
+
+
+#: The graph rules run as part of the default selection.
+PROJECT_RULES = (
+    TransitiveWallClockRule,
+    RngEscapeRule,
+    AsyncBlockingRule,
+    ForkSharedStateRule,
+    HeldAcrossForkRule,
+)
+
+#: Rule id of the scope-drift gate (implemented in the engine: it
+#: compares the committed ``lint-scope.json`` against the derivation,
+#: which needs the repo root rather than the graph alone).
+SCOPE_RULE_ID = "VER002"
+
+
+def scope_drift_findings(problems, scope_rel_path: str) -> list:
+    """VER002 findings from :func:`~repro.lint.dataflow.diff_scope`."""
+    return [
+        Finding(
+            rule=SCOPE_RULE_ID, severity=SEVERITY_ERROR,
+            path=scope_rel_path, line=1, col=0,
+            message=(
+                f"{problem} — regenerate with "
+                f"`python -m repro lint --update-scope` and commit "
+                f"the diff"
+            ),
+        )
+        for problem in problems
+    ]
+
+
+__all__ = [
+    "AsyncBlockingRule",
+    "ForkSharedStateRule",
+    "HeldAcrossForkRule",
+    "PROJECT_RULES",
+    "ProjectRule",
+    "RngEscapeRule",
+    "SCOPE_RULE_ID",
+    "TransitiveWallClockRule",
+    "scope_drift_findings",
+    "DEFAULT_POLICY",
+]

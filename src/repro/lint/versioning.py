@@ -10,6 +10,17 @@ and fails when they changed without a bump.
 This is a *repo-level*, CI-only rule: it shells out to ``git`` and is
 therefore not part of the default AST rule set — enable it with
 ``python -m repro lint --select VER001 [--ver-base REF]``.
+
+The result-affecting prefixes are no longer hand-maintained: the
+engine passes the ``result_affecting`` list of the committed
+``lint-scope.json`` (derived from the call graph, see
+:mod:`repro.lint.dataflow`); :data:`RESULT_AFFECTING` below is only
+the bootstrap fallback for trees without a committed scope file.
+Without an explicit ``--ver-base`` the engine tries ``origin/main``
+then ``main`` and *skips with a notice* when neither resolves (local
+checkout, no git repo) instead of failing or silently passing; an
+explicitly requested base ref that does not resolve stays a
+configuration error (exit 2).
 """
 
 from __future__ import annotations
@@ -25,7 +36,9 @@ from repro.lint.findings import (
     SEVERITY_ERROR,
 )
 
-#: Trees whose files affect simulation results (repo-relative).
+#: Bootstrap fallback for trees without a committed lint-scope.json;
+#: the derived scope is the source of truth (and is a superset of
+#: this list — see ``docs/lint.md``).
 RESULT_AFFECTING = (
     "src/repro/core/",
     "src/repro/numa/",
@@ -60,8 +73,10 @@ class CodeVersionRule:
     severity = SEVERITY_ERROR
     title = "result-affecting change without a CODE_VERSION bump"
 
-    def __init__(self, base_ref: str = "origin/main") -> None:
+    def __init__(self, base_ref: str = "origin/main",
+                 prefixes: tuple = RESULT_AFFECTING) -> None:
         self.base_ref = base_ref
+        self.prefixes = tuple(prefixes)
 
     def check_repo(self, repo_root: Path) -> Iterator[Finding]:
         repo = Path(repo_root)
@@ -72,7 +87,7 @@ class CodeVersionRule:
             line for line in _git(
                 repo, "diff", "--name-only", merge_base
             ).splitlines()
-            if line.startswith(RESULT_AFFECTING)
+            if line.startswith(self.prefixes)
         ]
         if not changed:
             return

@@ -36,12 +36,16 @@ _DEFAULT_DIR = Path(__file__).resolve().parents[3] / ".simcache"
 
 
 def cache_dir() -> Path:
-    override = os.environ.get("REPRO_CACHE_DIR")
+    # Cache *location* never changes result values: entries are keyed
+    # on CODE_VERSION+spec+config and replay bit-identical payloads.
+    override = os.environ.get("REPRO_CACHE_DIR")  # lint: disable=DET004 - cache location is result-invariant
     return Path(override) if override else _DEFAULT_DIR
 
 
 def cache_enabled() -> bool:
-    return os.environ.get("REPRO_NO_CACHE", "") != "1"
+    # Cache on/off is result-invariant by the engine-equivalence
+    # contract: a cache hit replays the exact bytes a miss recomputes.
+    return os.environ.get("REPRO_NO_CACHE", "") != "1"  # lint: disable=DET004 - cache on/off is result-invariant
 
 
 def _key(spec: WorkloadSpec, config: SystemConfig) -> str:

@@ -470,7 +470,10 @@ def active() -> Optional[ChaosEngine]:
             engine = ChaosEngine(ChaosPlan.load(plan_path), state_dir)
         except (OSError, ValueError, KeyError, json.JSONDecodeError):
             engine = None  # unreadable plan: chaos stays off
-    _env_engine = (key, engine)
+    # Per-process memo: after fork each process deliberately rebuilds
+    # its own engine from the (identical) environment, so divergence
+    # between the parent's and a worker's copy cannot occur.
+    _env_engine = (key, engine)  # lint: disable=CONC002 - per-process memo, rebuilt from env after fork
     return engine
 
 

@@ -1,0 +1,274 @@
+"""Unit tests for the cross-module call graph (repro.lint.graph).
+
+Each test builds a tiny in-memory project ({rel_path: source}) and
+asserts the documented precision contract: which call forms produce
+edges, which are deliberately left unresolved, and how the on-disk
+cache keys on the source tree.
+"""
+
+import ast
+
+from repro.lint.graph import MODULE_BODY, build_graph, tree_digest
+
+
+def graph_of(files, package="repro", **kwargs):
+    parsed = [(rel, ast.parse(src)) for rel, src in sorted(files.items())]
+    sources = sorted(files.items())
+    return build_graph(parsed, package=package, sources=sources, **kwargs)
+
+
+def edges(graph, fid):
+    return {c.target for c in graph.functions[fid].calls
+            if c.target is not None}
+
+
+class TestResolution:
+    def test_same_module_direct_call(self):
+        g = graph_of({"a.py": "def f():\n    return h()\ndef h():\n    return 1\n"})
+        assert edges(g, "a.py::f") == {"a.py::h"}
+
+    def test_from_import_call(self):
+        g = graph_of({
+            "a.py": "from repro.b import helper\ndef f():\n    return helper()\n",
+            "b.py": "def helper():\n    return 1\n",
+        })
+        assert edges(g, "a.py::f") == {"b.py::helper"}
+
+    def test_module_attribute_call_with_alias(self):
+        g = graph_of({
+            "a.py": "from repro import b as bee\ndef f():\n    return bee.helper()\n",
+            "b.py": "def helper():\n    return 1\n",
+        })
+        assert edges(g, "a.py::f") == {"b.py::helper"}
+
+    def test_package_import_resolves_init(self):
+        g = graph_of({
+            "a.py": "from repro import sub\ndef f():\n    return sub.helper()\n",
+            "sub/__init__.py": "def helper():\n    return 1\n",
+        })
+        assert edges(g, "a.py::f") == {"sub/__init__.py::helper"}
+
+    def test_relative_import(self):
+        g = graph_of({
+            "sub/a.py": "from .b import helper\ndef f():\n    return helper()\n",
+            "sub/b.py": "def helper():\n    return 1\n",
+        })
+        assert edges(g, "sub/a.py::f") == {"sub/b.py::helper"}
+
+    def test_construction_is_a_construct_edge(self):
+        g = graph_of({
+            "a.py": ("from repro.b import Widget\n"
+                     "def f():\n    return Widget()\n"),
+            "b.py": "class Widget:\n    def __init__(self):\n        pass\n",
+        })
+        (site,) = [c for c in g.functions["a.py::f"].calls
+                   if c.target is not None]
+        assert site.construct
+        assert site.target == "b.py::Widget"
+
+    def test_method_on_typed_local(self):
+        g = graph_of({
+            "a.py": ("from repro.b import Widget\n"
+                     "def f():\n    w = Widget()\n    return w.run()\n"),
+            "b.py": "class Widget:\n    def run(self):\n        return 1\n",
+        })
+        assert "b.py::Widget.run" in edges(g, "a.py::f")
+
+    def test_method_on_annotated_parameter(self):
+        g = graph_of({
+            "a.py": ("from repro.b import Widget\n"
+                     "def f(w: Widget):\n    return w.run()\n"),
+            "b.py": "class Widget:\n    def run(self):\n        return 1\n",
+        })
+        assert "b.py::Widget.run" in edges(g, "a.py::f")
+
+    def test_self_method_and_self_attr_method(self):
+        g = graph_of({
+            "a.py": (
+                "from repro.b import Widget\n"
+                "class Box:\n"
+                "    def __init__(self):\n"
+                "        self.w = Widget()\n"
+                "    def go(self):\n"
+                "        self.step()\n"
+                "        self.w.run()\n"
+                "    def step(self):\n"
+                "        pass\n"
+            ),
+            "b.py": "class Widget:\n    def run(self):\n        return 1\n",
+        })
+        got = edges(g, "a.py::Box.go")
+        assert "a.py::Box.step" in got
+        assert "b.py::Widget.run" in got
+
+    def test_inherited_method_resolves_through_project_base(self):
+        g = graph_of({
+            "a.py": (
+                "from repro.b import Base\n"
+                "class Child(Base):\n    pass\n"
+                "def f():\n    c = Child()\n    return c.run()\n"
+            ),
+            "b.py": "class Base:\n    def run(self):\n        return 1\n",
+        })
+        assert "b.py::Base.run" in edges(g, "a.py::f")
+
+    def test_chained_construction_method_call(self):
+        g = graph_of({
+            "a.py": ("from repro.b import Widget\n"
+                     "def f():\n    return Widget().run()\n"),
+            "b.py": "class Widget:\n    def run(self):\n        return 1\n",
+        })
+        assert "b.py::Widget.run" in edges(g, "a.py::f")
+
+    def test_nested_def_and_lambda_inline_into_definer(self):
+        g = graph_of({
+            "a.py": (
+                "def f():\n"
+                "    def inner():\n"
+                "        return h()\n"
+                "    g2 = lambda: h()\n"
+                "    return inner, g2\n"
+                "def h():\n    return 1\n"
+            ),
+        })
+        assert edges(g, "a.py::f") == {"a.py::h"}
+
+    def test_module_body_is_a_pseudo_function(self):
+        g = graph_of({
+            "a.py": "def h():\n    return 1\nREGISTRY = {'x': h()}\n",
+        })
+        assert edges(g, f"a.py::{MODULE_BODY}") == {"a.py::h"}
+
+
+class TestDeliberatelyUnresolved:
+    def test_unannotated_parameter_call_is_unresolved(self):
+        g = graph_of({
+            "a.py": "def f(w):\n    return w.run()\n",
+        })
+        assert edges(g, "a.py::f") == set()
+        assert g.unresolved_calls >= 1
+
+    def test_to_thread_value_does_not_create_an_edge(self):
+        # The executor hop passes the function as a value: no edge, so
+        # CONC001 chains genuinely end at asyncio.to_thread.
+        g = graph_of({
+            "a.py": (
+                "import asyncio\n"
+                "def blocking():\n    return 1\n"
+                "async def route():\n"
+                "    return await asyncio.to_thread(blocking)\n"
+            ),
+        })
+        assert "a.py::blocking" not in edges(g, "a.py::route")
+
+    def test_getattr_dispatch_is_unresolved(self):
+        g = graph_of({
+            "a.py": ("def f(app, name):\n"
+                     "    return getattr(app, name)()\n"),
+        })
+        assert edges(g, "a.py::f") == set()
+
+
+class TestFacts:
+    def test_global_writes_tracked(self):
+        g = graph_of({
+            "a.py": (
+                "STATE = {}\n"
+                "ITEMS = []\n"
+                "def set_key(k):\n    STATE[k] = 1\n"
+                "def push(x):\n    ITEMS.append(x)\n"
+                "def declared():\n    global STATE\n    STATE = {}\n"
+            ),
+        })
+        assert [w[0] for w in g.functions["a.py::set_key"].global_writes] \
+            == ["STATE"]
+        assert [w[0] for w in g.functions["a.py::push"].global_writes] \
+            == ["ITEMS"]
+        assert [w[0] for w in g.functions["a.py::declared"].global_writes] \
+            == ["STATE"]
+
+    def test_local_shadow_is_not_a_global_write(self):
+        g = graph_of({
+            "a.py": (
+                "STATE = {}\n"
+                "def f():\n    STATE = {}\n    STATE['x'] = 1\n"
+            ),
+        })
+        assert g.functions["a.py::f"].global_writes == []
+
+    def test_rng_escape_recorded(self):
+        g = graph_of({
+            "a.py": (
+                "import random\n"
+                "from repro.b import simulate\n"
+                "def f():\n    return simulate(random.Random())\n"
+            ),
+            "b.py": "def simulate(rng):\n    return rng.random()\n",
+        })
+        (esc,) = g.functions["a.py::f"].rng_escapes
+        assert esc.ctor == "random.Random"
+        assert esc.target == "b.py::simulate"
+
+    def test_seeded_rng_is_not_an_escape(self):
+        g = graph_of({
+            "a.py": (
+                "import random\n"
+                "from repro.b import simulate\n"
+                "def f():\n    return simulate(random.Random(7))\n"
+            ),
+            "b.py": "def simulate(rng):\n    return rng.random()\n",
+        })
+        assert g.functions["a.py::f"].rng_escapes == []
+
+    def test_held_lock_context_recorded(self):
+        g = graph_of({
+            "a.py": (
+                "import threading\n"
+                "_LOCK = threading.Lock()\n"
+                "def f():\n"
+                "    with _LOCK:\n"
+                "        return 1\n"
+            ),
+        })
+        (held,) = g.functions["a.py::f"].held_contexts
+        assert held.kind == "lock"
+
+    def test_held_open_file_recorded(self):
+        g = graph_of({
+            "a.py": (
+                "def f(p):\n"
+                "    with open(p) as fh:\n"
+                "        return fh.read()\n"
+            ),
+        })
+        (held,) = g.functions["a.py::f"].held_contexts
+        assert held.kind == "file"
+
+
+class TestCache:
+    def test_digest_is_order_free_and_content_sensitive(self):
+        a = [("a.py", "x = 1\n"), ("b.py", "y = 2\n")]
+        assert tree_digest(a) == tree_digest(list(reversed(a)))
+        assert tree_digest(a) != tree_digest([("a.py", "x = 2\n"),
+                                              ("b.py", "y = 2\n")])
+
+    def test_cache_round_trip(self, tmp_path):
+        files = {"a.py": "def f():\n    return h()\ndef h():\n    return 1\n"}
+        g1 = graph_of(files, cache_dir=tmp_path)
+        (pkl,) = list(tmp_path.glob("graph-*.pkl"))
+        g2 = graph_of(files, cache_dir=tmp_path)
+        assert g2.stats() == g1.stats()
+        assert list(tmp_path.glob("graph-*.pkl")) == [pkl]
+
+    def test_cache_invalidates_on_source_change(self, tmp_path):
+        graph_of({"a.py": "x = 1\n"}, cache_dir=tmp_path)
+        (first,) = list(tmp_path.glob("graph-*.pkl"))
+        graph_of({"a.py": "x = 2\n"}, cache_dir=tmp_path)
+        (second,) = list(tmp_path.glob("graph-*.pkl"))
+        assert first.name != second.name  # stale artifact replaced
+
+    def test_exports_render(self):
+        g = graph_of({"a.py": "def f():\n    return h()\ndef h():\n    return 1\n"})
+        doc = g.to_json()
+        assert doc["stats"]["functions"] == 3  # f, h, <module>
+        assert '"a.py::f" -> "a.py::h"' in g.to_dot()

@@ -106,3 +106,78 @@ class TestCodeVersionGate:
         from repro.lint.engine import DEFAULT_RULE_IDS
 
         assert CodeVersionRule.id not in DEFAULT_RULE_IDS
+
+
+class TestNoticeSkip:
+    """Without an explicit --ver-base, VER001 degrades to a notice."""
+
+    def test_no_git_repo_skips_with_notice(self, tmp_path):
+        # A bare directory tree, no `git init`: the rule cannot run,
+        # but that is a local-environment fact, not a lint failure.
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "imst.py").write_text("X = 1\n")
+        result = run_lint(
+            tmp_path / "src" / "repro",
+            select=["VER001"],
+            repo_root=tmp_path,
+            ver_base=None,
+        )
+        assert result.exit_code == 0
+        assert result.findings == []
+        assert any("VER001 skipped" in n for n in result.notices)
+
+    def test_missing_default_refs_skip_with_notice(self, repo):
+        # A real repo whose refs are neither origin/main nor main:
+        # unset base -> try both, then notice instead of exit 2.
+        result = run_lint(
+            repo / "src" / "repro",
+            select=["VER001"],
+            repo_root=repo,
+            ver_base=None,
+        )
+        assert result.exit_code == 0
+        assert any("VER001 skipped" in n for n in result.notices)
+
+    def test_explicit_bad_ref_still_exits_two(self, tmp_path):
+        # Explicitly requesting a base in a non-repo stays a hard
+        # configuration error — CI must never silently skip the gate.
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "x.py").write_text("X = 1\n")
+        with pytest.raises(LintConfigError):
+            run_lint(
+                pkg,
+                select=["VER001"],
+                repo_root=tmp_path,
+                ver_base="main",
+            )
+
+
+class TestScopeDrivenPrefixes:
+    def test_committed_scope_widens_the_gate(self, repo):
+        # With a committed lint-scope.json listing memory/ as
+        # result-affecting, a memory/ change without a bump fires even
+        # though the legacy hard-coded list never covered memory/.
+        import json
+
+        (repo / "lint-scope.json").write_text(json.dumps({
+            "version": 1,
+            "package": "repro",
+            "roots": [], "exclude": [], "modules": {},
+            "result_affecting": ["src/repro/memory/"],
+        }))
+        memory = repo / "src" / "repro" / "memory"
+        memory.mkdir()
+        (memory / "cache.py").write_text("Z = 1\n")
+        git(repo, "add", "-A")
+        git(repo, "commit", "-qam", "memory change")
+        result = run_lint(
+            repo / "src" / "repro",
+            select=["VER001"],
+            repo_root=repo,
+            ver_base=BASE_REF,
+        )
+        assert result.exit_code == 1
+        (finding,) = result.findings
+        assert "src/repro/memory/cache.py" in finding.message

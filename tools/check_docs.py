@@ -19,7 +19,12 @@ Two families of checks over the repository's Markdown:
    ``repro.serve.routes.ROUTES``, and every declared route must appear
    in the API reference ``docs/serve.md`` — same two-direction contract
    as the metrics table.
-4. **CLI subcommands** — every subcommand registered in
+4. **Lint rule ids** — every rule id registered in
+   ``repro.lint.engine.ALL_RULE_IDS`` must have a row in the rule
+   table of ``docs/lint.md``, and every id-shaped token in that table
+   must be a registered rule — so a rule can neither land undocumented
+   nor linger in the docs after removal.
+5. **CLI subcommands** — every subcommand registered in
    ``src/repro/cli.py`` (found by AST walk over ``add_parser`` calls,
    so this file needs no simulator imports) must be mentioned in
    ``README.md`` as `` `repro <name>` `` or ``python -m repro <name>``,
@@ -45,6 +50,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.lint.engine import ALL_RULE_IDS  # noqa: E402
 from repro.lint.resolver import MetricNameResolver  # noqa: E402
 from repro.obs.events import EVENT_KINDS  # noqa: E402
 from repro.obs.metrics import SPECS  # noqa: E402
@@ -63,6 +69,9 @@ _ENDPOINT_RE = re.compile(
 
 #: Shared resolver instance (the contract is fixed for the process).
 _RESOLVER = MetricNameResolver(SPECS, EVENT_KINDS)
+
+#: A rule-table row in docs/lint.md: ``| DET004 | error | ... |``.
+_RULE_ROW_RE = re.compile(r"^\|\s*([A-Z]{3,5}\d{3})\s*\|", re.MULTILINE)
 
 
 def markdown_files(root: Path) -> list[Path]:
@@ -158,6 +167,27 @@ def check_routes_documented(root: Path) -> list[str]:
     return problems
 
 
+def check_lint_rules_documented(root: Path) -> list[str]:
+    """docs/lint.md rule table <-> registered rule ids, both ways."""
+    ref = root / "docs" / "lint.md"
+    if not ref.exists():
+        return ["docs/lint.md is missing"]
+    documented = set(_RULE_ROW_RE.findall(ref.read_text(encoding="utf-8")))
+    registered = set(ALL_RULE_IDS)
+    problems = []
+    for rule_id in sorted(registered - documented):
+        problems.append(
+            f"docs/lint.md: registered lint rule {rule_id} has no row "
+            f"in the rule table"
+        )
+    for rule_id in sorted(documented - registered):
+        problems.append(
+            f"docs/lint.md: rule table documents {rule_id}, which is "
+            f"not a registered lint rule"
+        )
+    return problems
+
+
 def cli_subcommands(root: Path) -> list[str]:
     """Subcommand names registered in cli.py, via AST (no imports).
 
@@ -206,6 +236,7 @@ def run_checks(root: Path) -> list[str]:
         problems.extend(check_endpoint_tokens(md, root))
     problems.extend(check_reference_complete(root))
     problems.extend(check_routes_documented(root))
+    problems.extend(check_lint_rules_documented(root))
     problems.extend(check_cli_commands_documented(root))
     return problems
 
@@ -221,8 +252,8 @@ def main(argv: list[str]) -> int:
     n = len(markdown_files(root))
     print(f"docs ok: {n} markdown files, "
           f"{len(SPECS)} metrics + {len(EVENT_KINDS)} event kinds + "
-          f"{len(ROUTES)} routes + {len(cli_subcommands(root))} CLI "
-          f"subcommands cross-checked.")
+          f"{len(ROUTES)} routes + {len(ALL_RULE_IDS)} lint rules + "
+          f"{len(cli_subcommands(root))} CLI subcommands cross-checked.")
     return 0
 
 
